@@ -1,0 +1,104 @@
+//! Cycle accounting.
+
+use matic_isa::OpClass;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Cycle counts accumulated during one simulated kernel invocation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CycleReport {
+    /// Total cycles.
+    pub total: u64,
+    /// Instructions issued.
+    pub instructions: u64,
+    /// Cycles attributed per operation class.
+    pub by_class: BTreeMap<OpClass, u64>,
+}
+
+impl CycleReport {
+    /// Creates an empty report.
+    pub fn new() -> CycleReport {
+        CycleReport::default()
+    }
+
+    /// Charges `count` issues of `class` at `cycles_each`.
+    pub fn charge(&mut self, class: OpClass, cycles_each: u32, count: u64) {
+        self.total += cycles_each as u64 * count;
+        self.instructions += count;
+        *self.by_class.entry(class).or_default() += cycles_each as u64 * count;
+    }
+
+    /// Cycles attributed to one class.
+    pub fn cycles_for(&self, class: OpClass) -> u64 {
+        self.by_class.get(&class).copied().unwrap_or(0)
+    }
+
+    /// Cycles spent in vector (SIMD) instruction classes.
+    pub fn vector_cycles(&self) -> u64 {
+        self.by_class
+            .iter()
+            .filter(|(c, _)| c.is_vector())
+            .map(|(_, v)| *v)
+            .sum()
+    }
+
+    /// Cycles spent in complex-arithmetic instruction classes.
+    pub fn complex_cycles(&self) -> u64 {
+        self.by_class
+            .iter()
+            .filter(|(c, _)| c.is_complex())
+            .map(|(_, v)| *v)
+            .sum()
+    }
+
+    /// Merges another report into this one.
+    pub fn absorb(&mut self, other: &CycleReport) {
+        self.total += other.total;
+        self.instructions += other.instructions;
+        for (c, v) in &other.by_class {
+            *self.by_class.entry(*c).or_default() += v;
+        }
+    }
+}
+
+impl fmt::Display for CycleReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} cycles / {} instructions",
+            self.total, self.instructions
+        )?;
+        for (c, v) in &self.by_class {
+            writeln!(f, "  {c:>8}: {v}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_accumulates() {
+        let mut r = CycleReport::new();
+        r.charge(OpClass::ScalarMul, 2, 10);
+        r.charge(OpClass::VectorMac, 2, 4);
+        assert_eq!(r.total, 28);
+        assert_eq!(r.instructions, 14);
+        assert_eq!(r.cycles_for(OpClass::ScalarMul), 20);
+        assert_eq!(r.vector_cycles(), 8);
+    }
+
+    #[test]
+    fn absorb_merges() {
+        let mut a = CycleReport::new();
+        a.charge(OpClass::Load, 2, 3);
+        let mut b = CycleReport::new();
+        b.charge(OpClass::Load, 2, 1);
+        b.charge(OpClass::Branch, 1, 5);
+        a.absorb(&b);
+        assert_eq!(a.cycles_for(OpClass::Load), 8);
+        assert_eq!(a.total, 13);
+    }
+}

@@ -1,0 +1,526 @@
+//! Cycle-level execution of MIR on the virtual ASIP.
+//!
+//! The simulator interprets the *same* MIR the C backend emits from, with
+//! the semantics of the generated C (fixed-size arrays, no growth), and
+//! charges cycles per primitive machine operation according to the
+//! target's parameterized cost model — instruction-level cost attribution
+//! on compiler IR, the standard early design-space-exploration technique.
+//! Running the baseline MIR and the vectorized MIR through the same
+//! machine reproduces the paper's measurement: cycles of
+//! MATLAB-Coder-style code vs. cycles of custom-instruction code.
+
+use crate::report::CycleReport;
+use matic_frontend::ast::{BinOp, UnOp};
+use matic_frontend::span::Span;
+use matic_interp::{Cx, Matrix};
+use matic_isa::{IsaSpec, OpClass};
+use matic_mir::{
+    AllocKind, Index, MirFunction, MirProgram, Operand, ReduceKind, Rvalue, Stmt, VarId, VecKind,
+    VecRef, VectorOp,
+};
+use std::fmt;
+
+/// A simulated runtime value: scalar register or memory-resident array.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimVal {
+    /// Scalar register (real values have `im == 0`).
+    Scalar(Cx),
+    /// Array in data memory.
+    Arr(Matrix),
+}
+
+impl SimVal {
+    /// A real scalar.
+    pub fn scalar(v: f64) -> SimVal {
+        SimVal::Scalar(Cx::real(v))
+    }
+
+    /// A real row-vector array.
+    pub fn row(values: &[f64]) -> SimVal {
+        SimVal::Arr(Matrix::row_from_f64(values))
+    }
+
+    /// A complex row-vector array from `(re, im)` pairs.
+    pub fn cx_row(pairs: &[(f64, f64)]) -> SimVal {
+        SimVal::Arr(Matrix::row(
+            pairs.iter().map(|&(r, i)| Cx::new(r, i)).collect(),
+        ))
+    }
+
+    /// The scalar payload, broadcasting 1×1 arrays.
+    pub fn as_cx(&self) -> Result<Cx, String> {
+        match self {
+            SimVal::Scalar(z) => Ok(*z),
+            SimVal::Arr(m) => m.as_scalar(),
+        }
+    }
+
+    /// The array payload (scalars become 1×1).
+    pub fn into_matrix(self) -> Matrix {
+        match self {
+            SimVal::Scalar(z) => Matrix::scalar(z),
+            SimVal::Arr(m) => m,
+        }
+    }
+
+    /// A reference view of the array payload, if this is an array.
+    pub fn as_matrix(&self) -> Option<&Matrix> {
+        match self {
+            SimVal::Arr(m) => Some(m),
+            SimVal::Scalar(_) => None,
+        }
+    }
+}
+
+/// A simulation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimError {
+    /// Description.
+    pub message: String,
+    /// Source location of the failing operation.
+    pub span: Span,
+}
+
+impl SimError {
+    fn new(message: impl Into<String>, span: Span) -> SimError {
+        SimError {
+            message: message.into(),
+            span,
+        }
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "asip sim: {} at {}", self.message, self.span)
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Result of one simulated kernel invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimOutcome {
+    /// Entry-function outputs, in order.
+    pub outputs: Vec<SimVal>,
+    /// Cycle accounting.
+    pub cycles: CycleReport,
+    /// Text printed by `fprintf`/`disp`.
+    pub printed: String,
+}
+
+/// The virtual ASIP.
+#[derive(Debug, Clone)]
+pub struct AsipMachine {
+    spec: IsaSpec,
+    /// Whether vector operations may use the target's custom instructions
+    /// (mirrors the C backend's `use_intrinsics`).
+    use_intrinsics: bool,
+    /// Statement budget per `run`.
+    fuel: u64,
+}
+
+impl AsipMachine {
+    /// A machine implementing `spec`.
+    pub fn new(spec: IsaSpec) -> AsipMachine {
+        AsipMachine {
+            spec,
+            use_intrinsics: true,
+            fuel: 2_000_000_000,
+        }
+    }
+
+    /// Disables custom-instruction issue (forces scalar expansion).
+    pub fn without_intrinsics(mut self) -> AsipMachine {
+        self.use_intrinsics = false;
+        self
+    }
+
+    /// Caps the number of executed statements (default 2·10⁹); exceeding
+    /// it raises a "fuel exhausted" error instead of hanging on
+    /// non-terminating programs.
+    pub fn with_fuel(mut self, fuel: u64) -> AsipMachine {
+        self.fuel = fuel;
+        self
+    }
+
+    /// The implemented ISA.
+    pub fn spec(&self) -> &IsaSpec {
+        &self.spec
+    }
+
+    /// Runs `entry` of `mir` with `inputs`, returning outputs + cycles.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] for arity mismatches, out-of-bounds
+    /// accesses, or constructs the machine cannot execute.
+    pub fn run(
+        &self,
+        mir: &MirProgram,
+        entry: &str,
+        inputs: Vec<SimVal>,
+    ) -> Result<SimOutcome, SimError> {
+        let func = mir
+            .function(entry)
+            .ok_or_else(|| SimError::new(format!("entry `{entry}` not found"), Span::dummy()))?;
+        let mut exec = Exec {
+            machine: self,
+            mir,
+            cycles: CycleReport::new(),
+            printed: String::new(),
+            fuel: self.fuel,
+            depth: 0,
+        };
+        let outputs = exec.call(func, inputs)?;
+        Ok(SimOutcome {
+            outputs,
+            cycles: exec.cycles,
+            printed: exec.printed,
+        })
+    }
+}
+
+enum Flow {
+    Normal,
+    Break,
+    Continue,
+    Return,
+}
+
+struct Exec<'a> {
+    machine: &'a AsipMachine,
+    mir: &'a MirProgram,
+    cycles: CycleReport,
+    printed: String,
+    fuel: u64,
+    depth: u32,
+}
+
+type Env = Vec<Option<SimVal>>;
+
+impl<'a> Exec<'a> {
+    fn spec(&self) -> &IsaSpec {
+        &self.machine.spec
+    }
+
+    fn charge(&mut self, class: OpClass, count: u64) {
+        let c = self.spec().cost(class);
+        self.cycles.charge(class, c, count);
+    }
+
+    fn burn(&mut self, span: Span) -> Result<(), SimError> {
+        if self.fuel == 0 {
+            return Err(SimError::new("simulation fuel exhausted", span));
+        }
+        self.fuel -= 1;
+        Ok(())
+    }
+
+    // ---- complex-arithmetic cost helpers ---------------------------------
+
+    fn cx_add_cost(&mut self, count: u64) {
+        if self.machine.use_intrinsics && self.spec().supports(OpClass::ComplexAdd) {
+            self.charge(OpClass::ComplexAdd, count);
+        } else {
+            self.charge(OpClass::ScalarAlu, 2 * count);
+        }
+    }
+
+    fn cx_mul_cost(&mut self, count: u64) {
+        if self.machine.use_intrinsics && self.spec().supports(OpClass::ComplexMul) {
+            self.charge(OpClass::ComplexMul, count);
+        } else {
+            self.charge(OpClass::ScalarMul, 4 * count);
+            self.charge(OpClass::ScalarAlu, 2 * count);
+        }
+    }
+
+    fn cx_mac_cost(&mut self, count: u64) {
+        if self.machine.use_intrinsics && self.spec().supports(OpClass::ComplexMac) {
+            self.charge(OpClass::ComplexMac, count);
+        } else {
+            self.cx_mul_cost(count);
+            self.cx_add_cost(count);
+        }
+    }
+
+    fn cx_div_cost(&mut self, count: u64) {
+        self.charge(OpClass::ScalarMul, 6 * count);
+        self.charge(OpClass::ScalarAlu, 3 * count);
+        self.charge(OpClass::ScalarDiv, 2 * count);
+    }
+
+    fn scalar_binop_cost(&mut self, op: BinOp, complex: bool) {
+        if complex {
+            match op {
+                BinOp::Add | BinOp::Sub => self.cx_add_cost(1),
+                BinOp::ElemMul | BinOp::MatMul => self.cx_mul_cost(1),
+                BinOp::ElemDiv | BinOp::MatDiv | BinOp::ElemLeftDiv | BinOp::MatLeftDiv => {
+                    self.cx_div_cost(1)
+                }
+                BinOp::ElemPow | BinOp::MatPow => self.charge(OpClass::ScalarTrans, 2),
+                _ => self.charge(OpClass::ScalarAlu, 2),
+            }
+        } else {
+            match op {
+                BinOp::ElemMul | BinOp::MatMul => self.charge(OpClass::ScalarMul, 1),
+                BinOp::ElemDiv | BinOp::MatDiv | BinOp::ElemLeftDiv | BinOp::MatLeftDiv => {
+                    self.charge(OpClass::ScalarDiv, 1)
+                }
+                BinOp::ElemPow | BinOp::MatPow => self.charge(OpClass::ScalarTrans, 1),
+                _ => self.charge(OpClass::ScalarAlu, 1),
+            }
+        }
+    }
+
+    // ---- function calls ---------------------------------------------------
+
+    fn call(&mut self, func: &MirFunction, inputs: Vec<SimVal>) -> Result<Vec<SimVal>, SimError> {
+        if self.depth > 128 {
+            return Err(SimError::new("call depth exceeded", Span::dummy()));
+        }
+        if inputs.len() != func.params.len() {
+            return Err(SimError::new(
+                format!(
+                    "`{}` expects {} inputs, got {}",
+                    func.name,
+                    func.params.len(),
+                    inputs.len()
+                ),
+                Span::dummy(),
+            ));
+        }
+        self.depth += 1;
+        self.charge(OpClass::Call, 1);
+        let mut env: Env = vec![None; func.vars.len()];
+        for (&p, val) in func.params.iter().zip(inputs) {
+            // Coerce per the register's representation.
+            let coerced = if func.var_ty(p).shape.is_scalar() {
+                SimVal::Scalar(val.as_cx().map_err(|m| SimError::new(m, Span::dummy()))?)
+            } else {
+                SimVal::Arr(val.into_matrix())
+            };
+            env[p.0 as usize] = Some(coerced);
+        }
+        self.exec_block(func, &func.body, &mut env)?;
+        let mut outs = Vec::new();
+        for &o in &func.outputs {
+            outs.push(env[o.0 as usize].clone().ok_or_else(|| {
+                SimError::new(
+                    format!("output `{}` never assigned", func.var(o).name),
+                    Span::dummy(),
+                )
+            })?);
+        }
+        self.depth -= 1;
+        Ok(outs)
+    }
+
+    fn exec_block(
+        &mut self,
+        f: &MirFunction,
+        stmts: &[Stmt],
+        env: &mut Env,
+    ) -> Result<Flow, SimError> {
+        for s in stmts {
+            match self.exec_stmt(f, s, env)? {
+                Flow::Normal => {}
+                flow => return Ok(flow),
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    // ---- value access -------------------------------------------------------
+
+    fn get(&self, f: &MirFunction, env: &Env, v: VarId, span: Span) -> Result<SimVal, SimError> {
+        env[v.0 as usize]
+            .clone()
+            .ok_or_else(|| SimError::new(format!("read of unset `{}`", f.var(v).name), span))
+    }
+
+    fn operand(
+        &self,
+        f: &MirFunction,
+        env: &Env,
+        op: Operand,
+        span: Span,
+    ) -> Result<SimVal, SimError> {
+        match op {
+            Operand::Const(v) => Ok(SimVal::Scalar(Cx::real(v))),
+            Operand::ConstC(re, im) => Ok(SimVal::Scalar(Cx::new(re, im))),
+            Operand::Var(v) => self.get(f, env, v, span),
+        }
+    }
+
+    fn scalar_of(
+        &self,
+        f: &MirFunction,
+        env: &Env,
+        op: Operand,
+        span: Span,
+    ) -> Result<Cx, SimError> {
+        self.operand(f, env, op, span)?
+            .as_cx()
+            .map_err(|m| SimError::new(m, span))
+    }
+
+    fn real_of(
+        &self,
+        f: &MirFunction,
+        env: &Env,
+        op: Operand,
+        span: Span,
+    ) -> Result<f64, SimError> {
+        let z = self.scalar_of(f, env, op, span)?;
+        Ok(z.re)
+    }
+
+    fn index0(
+        &self,
+        f: &MirFunction,
+        env: &Env,
+        op: Operand,
+        span: Span,
+    ) -> Result<i64, SimError> {
+        Ok(self.real_of(f, env, op, span)? as i64 - 1)
+    }
+
+    fn set(&self, env: &mut Env, v: VarId, val: SimVal) {
+        env[v.0 as usize] = Some(val);
+    }
+
+    // ---- statements -----------------------------------------------------------
+
+    fn exec_stmt(
+        &mut self,
+        f: &MirFunction,
+        stmt: &Stmt,
+        env: &mut Env,
+    ) -> Result<Flow, SimError> {
+        self.burn(Span::dummy())?;
+        match stmt {
+            Stmt::Def { dst, rv, span } => {
+                let val = self.eval_rvalue(f, env, *dst, rv, *span)?;
+                // Coerce to the register representation.
+                let val = if f.var_ty(*dst).shape.is_scalar() {
+                    match val {
+                        SimVal::Arr(m) if m.is_scalar() => SimVal::Scalar(m.lin(0)),
+                        other => other,
+                    }
+                } else {
+                    match val {
+                        SimVal::Scalar(z) => SimVal::Arr(Matrix::scalar(z)),
+                        other => other,
+                    }
+                };
+                self.set(env, *dst, val);
+                Ok(Flow::Normal)
+            }
+            Stmt::Store {
+                array,
+                indices,
+                value,
+                span,
+            } => {
+                self.exec_store(f, env, *array, indices, *value, *span)?;
+                Ok(Flow::Normal)
+            }
+            Stmt::CallMulti {
+                dsts,
+                func,
+                args,
+                user,
+                span,
+            } => {
+                self.exec_call_multi(f, env, dsts, func, args, *user, *span)?;
+                Ok(Flow::Normal)
+            }
+            Stmt::Effect { name, args, span } => {
+                self.exec_effect(f, env, name, args, *span)?;
+                Ok(Flow::Normal)
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                self.charge(OpClass::Branch, 1);
+                let c = self.truthy(f, env, *cond)?;
+                if c {
+                    self.exec_block(f, then_body, env)
+                } else {
+                    self.exec_block(f, else_body, env)
+                }
+            }
+            Stmt::For {
+                var,
+                start,
+                step,
+                stop,
+                body,
+            } => {
+                let span = Span::dummy();
+                let s = self.real_of(f, env, *start, span)?;
+                let st = self.real_of(f, env, *step, span)?;
+                let e = self.real_of(f, env, *stop, span)?;
+                let n = if st == 0.0 {
+                    0
+                } else {
+                    (((e - s) / st + 1e-10).floor() as i64 + 1).max(0)
+                };
+                for k in 0..n {
+                    self.burn(span)?;
+                    // Loop control: induction update + branch.
+                    self.charge(OpClass::ScalarAlu, 1);
+                    self.charge(OpClass::Branch, 1);
+                    self.set(env, *var, SimVal::scalar(s + st * k as f64));
+                    match self.exec_block(f, body, env)? {
+                        Flow::Break => break,
+                        Flow::Return => return Ok(Flow::Return),
+                        Flow::Continue | Flow::Normal => {}
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::While {
+                cond_defs,
+                cond,
+                body,
+            } => {
+                loop {
+                    self.burn(Span::dummy())?;
+                    self.exec_block(f, cond_defs, env)?;
+                    self.charge(OpClass::Branch, 1);
+                    if !self.truthy(f, env, *cond)? {
+                        break;
+                    }
+                    match self.exec_block(f, body, env)? {
+                        Flow::Break => break,
+                        Flow::Return => return Ok(Flow::Return),
+                        Flow::Continue | Flow::Normal => {}
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::Break => Ok(Flow::Break),
+            Stmt::Continue => Ok(Flow::Continue),
+            Stmt::Return => Ok(Flow::Return),
+            Stmt::VectorOp(vop) => {
+                self.exec_vector_op(f, env, vop)?;
+                Ok(Flow::Normal)
+            }
+        }
+    }
+
+    fn truthy(&self, f: &MirFunction, env: &Env, op: Operand) -> Result<bool, SimError> {
+        match self.operand(f, env, op, Span::dummy())? {
+            SimVal::Scalar(z) => Ok(z.re != 0.0 || z.im != 0.0),
+            SimVal::Arr(m) => Ok(m.as_bool()),
+        }
+    }
+}
+
+include!("sim_part2.rs");
+include!("sim_part3.rs");

@@ -1,0 +1,667 @@
+// Builtin evaluation and vector-operation execution — included from sim.rs.
+
+impl<'a> Exec<'a> {
+    fn eval_builtin(
+        &mut self,
+        f: &MirFunction,
+        env: &mut Env,
+        _dst: VarId,
+        name: &str,
+        args: &[Operand],
+        span: Span,
+    ) -> Result<SimVal, SimError> {
+        // Constants.
+        match name {
+            "pi" => return Ok(SimVal::scalar(std::f64::consts::PI)),
+            "eps" => return Ok(SimVal::scalar(f64::EPSILON)),
+            "Inf" | "inf" => return Ok(SimVal::scalar(f64::INFINITY)),
+            "NaN" | "nan" => return Ok(SimVal::scalar(f64::NAN)),
+            "i" | "j" => return Ok(SimVal::Scalar(Cx::I)),
+            _ => {}
+        }
+        let first = args
+            .first()
+            .map(|a| self.operand(f, env, *a, span))
+            .transpose()?;
+
+        // Shape queries are register/ALU work.
+        match name {
+            "numel" | "length" | "size" | "isempty" => {
+                self.charge(OpClass::ScalarAlu, 1);
+                let m = first
+                    .ok_or_else(|| SimError::new(format!("{name}: missing argument"), span))?
+                    .into_matrix();
+                let v = match name {
+                    "numel" => m.numel() as f64,
+                    "length" => m.length() as f64,
+                    "isempty" => {
+                        if m.is_empty() {
+                            1.0
+                        } else {
+                            0.0
+                        }
+                    }
+                    "size" => {
+                        let d = self.real_of(f, env, args[1], span)? as i64;
+                        match d {
+                            1 => m.rows() as f64,
+                            2 => m.cols() as f64,
+                            _ => 1.0,
+                        }
+                    }
+                    _ => unreachable!(),
+                };
+                return Ok(SimVal::scalar(v));
+            }
+            _ => {}
+        }
+
+        let scalar_args = args.len() <= 2
+            && args
+                .iter()
+                .all(|a| matches!(self.operand(f, env, *a, span), Ok(SimVal::Scalar(_))));
+
+        if scalar_args {
+            // Scalar math.
+            let x = self.scalar_of(f, env, args[0], span)?;
+            let cost = |exec: &mut Self, class: OpClass| exec.charge(class, 1);
+            let v: Cx = match name {
+                "abs" => {
+                    cost(self, OpClass::ScalarAlu);
+                    Cx::real(x.abs())
+                }
+                "sqrt" => {
+                    cost(self, OpClass::ScalarSqrt);
+                    x.sqrt()
+                }
+                "exp" => {
+                    cost(self, OpClass::ScalarTrans);
+                    x.exp()
+                }
+                "log" => {
+                    cost(self, OpClass::ScalarTrans);
+                    if x.is_real() && x.re > 0.0 {
+                        Cx::real(x.re.ln())
+                    } else {
+                        x.ln()
+                    }
+                }
+                "log2" => {
+                    cost(self, OpClass::ScalarTrans);
+                    Cx::real(x.re.log2())
+                }
+                "log10" => {
+                    cost(self, OpClass::ScalarTrans);
+                    Cx::real(x.re.log10())
+                }
+                "sin" => {
+                    cost(self, OpClass::ScalarTrans);
+                    Cx::real(x.re.sin())
+                }
+                "cos" => {
+                    cost(self, OpClass::ScalarTrans);
+                    Cx::real(x.re.cos())
+                }
+                "tan" => {
+                    cost(self, OpClass::ScalarTrans);
+                    Cx::real(x.re.tan())
+                }
+                "asin" => {
+                    cost(self, OpClass::ScalarTrans);
+                    Cx::real(x.re.asin())
+                }
+                "acos" => {
+                    cost(self, OpClass::ScalarTrans);
+                    Cx::real(x.re.acos())
+                }
+                "atan" => {
+                    cost(self, OpClass::ScalarTrans);
+                    Cx::real(x.re.atan())
+                }
+                "atan2" => {
+                    cost(self, OpClass::ScalarTrans);
+                    let y = self.scalar_of(f, env, args[1], span)?;
+                    Cx::real(x.re.atan2(y.re))
+                }
+                "floor" => {
+                    cost(self, OpClass::ScalarAlu);
+                    Cx::real(x.re.floor())
+                }
+                "ceil" => {
+                    cost(self, OpClass::ScalarAlu);
+                    Cx::real(x.re.ceil())
+                }
+                "round" => {
+                    cost(self, OpClass::ScalarAlu);
+                    Cx::real(x.re.round())
+                }
+                "fix" => {
+                    cost(self, OpClass::ScalarAlu);
+                    Cx::real(x.re.trunc())
+                }
+                "sign" => {
+                    cost(self, OpClass::ScalarAlu);
+                    Cx::real(if x.re > 0.0 {
+                        1.0
+                    } else if x.re < 0.0 {
+                        -1.0
+                    } else {
+                        0.0
+                    })
+                }
+                "mod" => {
+                    self.charge(OpClass::ScalarDiv, 1);
+                    let y = self.scalar_of(f, env, args[1], span)?;
+                    if y.re == 0.0 {
+                        Cx::real(x.re)
+                    } else {
+                        Cx::real(x.re - (x.re / y.re).floor() * y.re)
+                    }
+                }
+                "rem" => {
+                    self.charge(OpClass::ScalarDiv, 1);
+                    let y = self.scalar_of(f, env, args[1], span)?;
+                    if y.re == 0.0 {
+                        Cx::real(f64::NAN)
+                    } else {
+                        Cx::real(x.re - (x.re / y.re).trunc() * y.re)
+                    }
+                }
+                "real" => {
+                    cost(self, OpClass::ScalarAlu);
+                    Cx::real(x.re)
+                }
+                "imag" => {
+                    cost(self, OpClass::ScalarAlu);
+                    Cx::real(x.im)
+                }
+                "conj" => {
+                    if self.machine.use_intrinsics && self.spec().supports(OpClass::ComplexConj)
+                    {
+                        self.charge(OpClass::ComplexConj, 1);
+                    } else {
+                        self.charge(OpClass::ScalarAlu, 1);
+                    }
+                    x.conj()
+                }
+                "angle" => {
+                    cost(self, OpClass::ScalarTrans);
+                    Cx::real(x.arg())
+                }
+                "min" | "max" if args.len() >= 2 => {
+                    cost(self, OpClass::ScalarAlu);
+                    let y = self.scalar_of(f, env, args[1], span)?;
+                    let better = if name == "min" {
+                        x.re < y.re
+                    } else {
+                        x.re > y.re
+                    };
+                    if better {
+                        x
+                    } else {
+                        y
+                    }
+                }
+                "min" | "max" | "sum" | "prod" | "mean" => {
+                    cost(self, OpClass::ScalarAlu);
+                    x
+                }
+                "norm" => {
+                    cost(self, OpClass::ScalarAlu);
+                    Cx::real(x.abs())
+                }
+                "complex" => {
+                    cost(self, OpClass::ScalarAlu);
+                    let y = self.scalar_of(f, env, args[1], span)?;
+                    Cx::new(x.re, y.re)
+                }
+                "isreal" => Cx::real(if x.is_real() { 1.0 } else { 0.0 }),
+                "isscalar" => Cx::real(1.0),
+                other => {
+                    return Err(SimError::new(
+                        format!("scalar builtin `{other}` unsupported in simulation"),
+                        span,
+                    ))
+                }
+            };
+            return Ok(SimVal::Scalar(v));
+        }
+
+        // Array builtins.
+        let m = first
+            .ok_or_else(|| SimError::new(format!("{name}: missing argument"), span))?
+            .into_matrix();
+        let n = m.numel() as u64;
+        match name {
+            "sum" | "mean" => {
+                self.charge(OpClass::Load, n);
+                self.charge(OpClass::Branch, n);
+                if m.is_real() {
+                    self.charge(OpClass::ScalarAlu, n);
+                } else {
+                    self.cx_add_cost(n);
+                }
+                let mut acc = Cx::ZERO;
+                for z in m.data() {
+                    acc = acc + *z;
+                }
+                if name == "mean" {
+                    self.charge(OpClass::ScalarDiv, 1);
+                    acc = acc / Cx::real(m.numel() as f64);
+                }
+                Ok(SimVal::Scalar(acc))
+            }
+            "prod" => {
+                self.charge(OpClass::Load, n);
+                self.charge(OpClass::Branch, n);
+                if m.is_real() {
+                    self.charge(OpClass::ScalarMul, n);
+                } else {
+                    self.cx_mul_cost(n);
+                }
+                let mut acc = Cx::ONE;
+                for z in m.data() {
+                    acc = acc * *z;
+                }
+                Ok(SimVal::Scalar(acc))
+            }
+            "min" | "max" => {
+                self.charge(OpClass::Load, n);
+                self.charge(OpClass::ScalarAlu, n);
+                self.charge(OpClass::Branch, n);
+                if m.is_empty() {
+                    return Err(SimError::new("min/max of empty array", span));
+                }
+                let better = |a: f64, b: f64| if name == "min" { a < b } else { a > b };
+                let mut best = m.lin(0).re;
+                for k in 1..m.numel() {
+                    if better(m.lin(k).re, best) {
+                        best = m.lin(k).re;
+                    }
+                }
+                Ok(SimVal::scalar(best))
+            }
+            "dot" => {
+                let mb = self.operand(f, env, args[1], span)?.into_matrix();
+                if mb.numel() != m.numel() {
+                    return Err(SimError::new("dot length mismatch", span));
+                }
+                self.charge(OpClass::Load, 2 * n);
+                self.charge(OpClass::Branch, n);
+                let complex = !m.is_real() || !mb.is_real();
+                if complex {
+                    self.cx_mac_cost(n);
+                } else {
+                    self.charge(OpClass::ScalarMul, n);
+                    self.charge(OpClass::ScalarAlu, n);
+                }
+                let mut acc = Cx::ZERO;
+                for (a, b) in m.data().iter().zip(mb.data()) {
+                    acc = acc + a.conj() * *b;
+                }
+                Ok(SimVal::Scalar(acc))
+            }
+            "norm" => {
+                self.charge(OpClass::Load, n);
+                self.charge(OpClass::ScalarMul, 2 * n);
+                self.charge(OpClass::ScalarAlu, n);
+                self.charge(OpClass::Branch, n);
+                self.charge(OpClass::ScalarSqrt, 1);
+                let s: f64 = m.data().iter().map(|z| z.abs() * z.abs()).sum();
+                Ok(SimVal::scalar(s.sqrt()))
+            }
+            "abs" | "sqrt" | "exp" | "log" | "sin" | "cos" | "floor" | "ceil" | "round"
+            | "fix" | "sign" | "real" | "imag" | "conj" | "angle" => {
+                self.charge(OpClass::Load, n);
+                self.charge(OpClass::Store, n);
+                self.charge(OpClass::Branch, n);
+                match name {
+                    "sqrt" => self.charge(OpClass::ScalarSqrt, n),
+                    "exp" | "log" | "sin" | "cos" | "angle" => {
+                        self.charge(OpClass::ScalarTrans, n)
+                    }
+                    "conj" => {
+                        if self.machine.use_intrinsics
+                            && self.spec().supports(OpClass::ComplexConj)
+                        {
+                            self.charge(OpClass::ComplexConj, n);
+                        } else {
+                            self.charge(OpClass::ScalarAlu, n);
+                        }
+                    }
+                    _ => self.charge(OpClass::ScalarAlu, n),
+                }
+                let out = m.map(|z| match name {
+                    "abs" => Cx::real(z.abs()),
+                    "sqrt" => z.sqrt(),
+                    "exp" => z.exp(),
+                    "log" => {
+                        if z.is_real() && z.re > 0.0 {
+                            Cx::real(z.re.ln())
+                        } else {
+                            z.ln()
+                        }
+                    }
+                    "sin" => Cx::real(z.re.sin()),
+                    "cos" => Cx::real(z.re.cos()),
+                    "floor" => Cx::real(z.re.floor()),
+                    "ceil" => Cx::real(z.re.ceil()),
+                    "round" => Cx::real(z.re.round()),
+                    "fix" => Cx::real(z.re.trunc()),
+                    "sign" => Cx::real(if z.re > 0.0 {
+                        1.0
+                    } else if z.re < 0.0 {
+                        -1.0
+                    } else {
+                        0.0
+                    }),
+                    "real" => Cx::real(z.re),
+                    "imag" => Cx::real(z.im),
+                    "conj" => z.conj(),
+                    "angle" => Cx::real(z.arg()),
+                    _ => unreachable!(),
+                });
+                Ok(SimVal::Arr(out))
+            }
+            "linspace" => {
+                let a = self.real_of(f, env, args[0], span)?;
+                let b = self.real_of(f, env, args[1], span)?;
+                let count = if args.len() > 2 {
+                    self.real_of(f, env, args[2], span)? as usize
+                } else {
+                    100
+                };
+                self.charge(OpClass::ScalarAlu, count as u64);
+                self.charge(OpClass::Store, count as u64);
+                let mut data = Vec::with_capacity(count);
+                for k in 0..count {
+                    let v = if count == 1 {
+                        b
+                    } else {
+                        a + (b - a) * k as f64 / (count - 1) as f64
+                    };
+                    data.push(Cx::real(v));
+                }
+                Ok(SimVal::Arr(Matrix::new(1, count, data)))
+            }
+            "complex" => {
+                let mb = self.operand(f, env, args[1], span)?.into_matrix();
+                self.charge(OpClass::Load, 2 * n);
+                self.charge(OpClass::Store, n);
+                let out = m
+                    .zip(&mb, |a, b| Cx::new(a.re, b.re))
+                    .map_err(|e| SimError::new(e, span))?;
+                Ok(SimVal::Arr(out))
+            }
+            other => Err(SimError::new(
+                format!("array builtin `{other}` unsupported in simulation"),
+                span,
+            )),
+        }
+    }
+
+    // ---- vector operations --------------------------------------------------
+
+    fn read_lanes(
+        &mut self,
+        f: &MirFunction,
+        env: &Env,
+        r: &VecRef,
+        len: usize,
+        span: Span,
+    ) -> Result<Vec<Cx>, SimError> {
+        match r {
+            VecRef::Splat(op) => {
+                let z = self.scalar_of(f, env, *op, span)?;
+                Ok(vec![z; len])
+            }
+            VecRef::Slice { array, start, step } => {
+                let base = self.get(f, env, *array, span)?.into_matrix();
+                let s = self.real_of(f, env, *start, span)? as i64 - 1;
+                let st = self.real_of(f, env, *step, span)? as i64;
+                let mut out = Vec::with_capacity(len);
+                for k in 0..len as i64 {
+                    let p = s + st * k;
+                    let z = *base
+                        .data()
+                        .get(p.max(0) as usize)
+                        .filter(|_| p >= 0)
+                        .ok_or_else(|| {
+                            SimError::new(
+                                format!("vector lane {} out of bounds", p + 1),
+                                span,
+                            )
+                        })?;
+                    out.push(z);
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    fn write_lanes(
+        &mut self,
+        f: &MirFunction,
+        env: &mut Env,
+        r: &VecRef,
+        values: &[Cx],
+        span: Span,
+    ) -> Result<(), SimError> {
+        let VecRef::Slice { array, start, step } = r else {
+            return Err(SimError::new("vector store needs a slice", span));
+        };
+        let mut base = self.get(f, env, *array, span)?.into_matrix();
+        let s = self.real_of(f, env, *start, span)? as i64 - 1;
+        let st = self.real_of(f, env, *step, span)? as i64;
+        for (k, z) in values.iter().enumerate() {
+            let p = s + st * k as i64;
+            let total = base.numel();
+            let slot = base
+                .data_mut()
+                .get_mut(p.max(0) as usize)
+                .filter(|_| p >= 0)
+                .ok_or_else(|| {
+                    SimError::new(
+                        format!("vector store lane {} out of bounds ({total})", p + 1),
+                        span,
+                    )
+                })?;
+            *slot = *z;
+        }
+        self.set(env, *array, SimVal::Arr(base));
+        Ok(())
+    }
+
+    /// Charges the cost of one vector operation under the target's
+    /// capabilities, mirroring the C backend's intrinsic-vs-fallback
+    /// decision. Returns nothing; semantics are computed separately.
+    fn charge_vector_op(&mut self, vop: &VectorOp, len: u64, inputs: u64, has_store: bool) {
+        let spec = self.spec().clone();
+        let w = spec.vector_width.max(1) as u64;
+        let simd_ok = self.machine.use_intrinsics && spec.features.simd && w > 1;
+        let class = match (&vop.kind, vop.complex) {
+            (VecKind::Map(BinOp::ElemMul | BinOp::MatMul), false) => OpClass::VectorMul,
+            (VecKind::Map(BinOp::ElemDiv | BinOp::MatDiv), false) => OpClass::VectorDiv,
+            (VecKind::Map(_), false) => OpClass::VectorAlu,
+            (VecKind::Map(BinOp::ElemMul | BinOp::MatMul), true) => OpClass::VComplexMul,
+            (VecKind::Map(_), true) => OpClass::VComplexAdd,
+            (VecKind::MapUnary(_), false) => OpClass::VectorAlu,
+            (VecKind::MapUnary(_), true) => OpClass::VComplexAdd,
+            (VecKind::MapBuiltin(n), _) if n == "sqrt" => OpClass::VectorDiv,
+            (VecKind::MapBuiltin(_), false) => OpClass::VectorAlu,
+            (VecKind::MapBuiltin(_), true) => OpClass::VComplexAdd,
+            (VecKind::Mac, false) => OpClass::VectorMac,
+            (VecKind::Mac, true) => OpClass::VComplexMac,
+            (VecKind::Reduce(_), false) => OpClass::VectorRedAdd,
+            (VecKind::Reduce(_), true) => OpClass::VectorRedAdd,
+            (VecKind::Copy, _) => OpClass::VectorLoad,
+        };
+        if simd_ok && spec.supports(class) {
+            // Whole SIMD words per issue, plus vector load/store traffic.
+            let words = len.div_ceil(w);
+            self.charge(OpClass::VectorLoad, words * inputs);
+            self.charge(class, words);
+            if has_store {
+                self.charge(OpClass::VectorStore, words);
+            }
+            self.charge(OpClass::Branch, words);
+            return;
+        }
+        // Scalar-expansion (or complex-instruction) loop.
+        self.charge(OpClass::Load, len * inputs);
+        self.charge(OpClass::Branch, len);
+        if has_store {
+            self.charge(OpClass::Store, len);
+        }
+        match (&vop.kind, vop.complex) {
+            (VecKind::Map(BinOp::ElemMul | BinOp::MatMul), true) => self.cx_mul_cost(len),
+            (VecKind::Map(BinOp::ElemDiv | BinOp::MatDiv), true) => self.cx_div_cost(len),
+            (VecKind::Map(_), true) => self.cx_add_cost(len),
+            (VecKind::Map(BinOp::ElemMul | BinOp::MatMul), false) => {
+                self.charge(OpClass::ScalarMul, len)
+            }
+            (VecKind::Map(BinOp::ElemDiv | BinOp::MatDiv), false) => {
+                self.charge(OpClass::ScalarDiv, len)
+            }
+            (VecKind::Map(_), false) => self.charge(OpClass::ScalarAlu, len),
+            (VecKind::MapUnary(_), true) => self.cx_add_cost(len),
+            (VecKind::MapUnary(_), false) => self.charge(OpClass::ScalarAlu, len),
+            (VecKind::MapBuiltin(n), _) if n == "sqrt" => {
+                self.charge(OpClass::ScalarSqrt, len)
+            }
+            (VecKind::MapBuiltin(n), true) if n == "conj" => {
+                if self.machine.use_intrinsics && spec.supports(OpClass::ComplexConj) {
+                    self.charge(OpClass::ComplexConj, len);
+                } else {
+                    self.charge(OpClass::ScalarAlu, len);
+                }
+            }
+            (VecKind::MapBuiltin(_), _) => self.charge(OpClass::ScalarAlu, len),
+            (VecKind::Mac, true) => self.cx_mac_cost(len),
+            (VecKind::Mac, false) => {
+                self.charge(OpClass::ScalarMul, len);
+                self.charge(OpClass::ScalarAlu, len);
+            }
+            (VecKind::Reduce(ReduceKind::Prod), true) => self.cx_mul_cost(len),
+            (VecKind::Reduce(ReduceKind::Prod), false) => {
+                self.charge(OpClass::ScalarMul, len)
+            }
+            (VecKind::Reduce(_), true) => self.cx_add_cost(len),
+            (VecKind::Reduce(_), false) => self.charge(OpClass::ScalarAlu, len),
+            (VecKind::Copy, _) => {}
+        }
+    }
+
+    fn exec_vector_op(
+        &mut self,
+        f: &MirFunction,
+        env: &mut Env,
+        vop: &VectorOp,
+    ) -> Result<(), SimError> {
+        let span = vop.span;
+        let len_f = self.real_of(f, env, vop.len, span)?;
+        let len = if len_f > 0.0 { len_f as usize } else { 0 };
+        let inputs = 1 + u64::from(vop.b.is_some());
+        let is_store = !matches!(vop.kind, VecKind::Mac | VecKind::Reduce(_));
+        self.charge_vector_op(vop, len as u64, inputs, is_store);
+        if len == 0 {
+            return Ok(());
+        }
+
+        let a = self.read_lanes(f, env, &vop.a, len, span)?;
+        let b = match &vop.b {
+            Some(r) => Some(self.read_lanes(f, env, r, len, span)?),
+            None => None,
+        };
+
+        match &vop.kind {
+            VecKind::Mac | VecKind::Reduce(_) => {
+                let VecRef::Splat(Operand::Var(acc_var)) = vop.dst else {
+                    return Err(SimError::new(
+                        "reduction destination must be a register",
+                        span,
+                    ));
+                };
+                let mut acc = self
+                    .get(f, env, acc_var, span)?
+                    .as_cx()
+                    .map_err(|m| SimError::new(m, span))?;
+                match &vop.kind {
+                    VecKind::Mac => {
+                        let b = b.as_ref().expect("MAC has two inputs");
+                        for k in 0..len {
+                            acc = acc + a[k] * b[k];
+                        }
+                    }
+                    VecKind::Reduce(ReduceKind::Sum) => {
+                        for z in &a {
+                            acc = acc + *z;
+                        }
+                    }
+                    VecKind::Reduce(ReduceKind::Prod) => {
+                        for z in &a {
+                            acc = acc * *z;
+                        }
+                    }
+                    VecKind::Reduce(ReduceKind::Min) => {
+                        for z in &a {
+                            if z.re < acc.re {
+                                acc = *z;
+                            }
+                        }
+                    }
+                    VecKind::Reduce(ReduceKind::Max) => {
+                        for z in &a {
+                            if z.re > acc.re {
+                                acc = *z;
+                            }
+                        }
+                    }
+                    _ => unreachable!(),
+                }
+                self.set(env, acc_var, SimVal::Scalar(acc));
+                Ok(())
+            }
+            kind => {
+                let out: Vec<Cx> = match kind {
+                    VecKind::Map(op) => {
+                        let b = b.as_ref().expect("binary map has two inputs");
+                        let mut out = Vec::with_capacity(len);
+                        for k in 0..len {
+                            let z = apply_binop_scalar(*op, a[k], b[k])
+                                .map_err(|m| SimError::new(m, span))?;
+                            out.push(z);
+                        }
+                        out
+                    }
+                    VecKind::MapUnary(op) => a.iter().map(|&z| apply_unop(*op, z)).collect(),
+                    VecKind::MapBuiltin(name) => {
+                        let mut out = Vec::with_capacity(len);
+                        for &z in &a {
+                            out.push(match name.as_str() {
+                                "abs" => Cx::real(z.abs()),
+                                "conj" => z.conj(),
+                                "sqrt" => z.sqrt(),
+                                "real" => Cx::real(z.re),
+                                "imag" => Cx::real(z.im),
+                                "floor" => Cx::real(z.re.floor()),
+                                "ceil" => Cx::real(z.re.ceil()),
+                                "round" => Cx::real(z.re.round()),
+                                other => {
+                                    return Err(SimError::new(
+                                        format!("lane builtin `{other}`"),
+                                        span,
+                                    ))
+                                }
+                            });
+                        }
+                        out
+                    }
+                    VecKind::Copy => a,
+                    _ => unreachable!(),
+                };
+                self.write_lanes(f, env, &vop.dst, &out, span)
+            }
+        }
+    }
+}

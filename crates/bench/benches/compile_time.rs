@@ -1,0 +1,52 @@
+//! **Table 3 (criterion form) — compile-time cost of the flow.**
+//!
+//! Wall-clock time to run the full pipeline (parse → sema → lower →
+//! optimize → vectorize → C emission) per benchmark. The DATE'16 paper's
+//! pitch includes reducing development time; the compiler itself must be
+//! fast enough for interactive use.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use matic::{Compiler, OptLevel};
+use matic_benchkit::SUITE;
+
+fn bench_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile_full_pipeline");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    for b in SUITE {
+        let args = b.arg_types(b.default_n);
+        group.bench_function(b.id, |bencher| {
+            bencher.iter(|| {
+                let out = Compiler::new()
+                    .opt_level(OptLevel::full())
+                    .compile(b.source, b.entry, &args)
+                    .expect("compiles");
+                std::hint::black_box(out.c.source.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_compile_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile_baseline_pipeline");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    for b in SUITE {
+        let args = b.arg_types(b.default_n);
+        group.bench_function(b.id, |bencher| {
+            bencher.iter(|| {
+                let out = Compiler::new()
+                    .opt_level(OptLevel::baseline())
+                    .compile(b.source, b.entry, &args)
+                    .expect("compiles");
+                std::hint::black_box(out.c.source.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compile, bench_compile_baseline);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion benches for the virtual-ASIP simulator itself: wall-clock
+//! throughput of cycle-level execution, per benchmark and per opt level.
+//! (Simulated *cycle counts* are deterministic; these benches measure the
+//! harness, not the ASIP.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use matic::{Compiler, OptLevel};
+use matic_benchkit::{to_sim, SUITE};
+
+fn small_n(id: &str) -> usize {
+    match id {
+        "matmul" => 8,
+        "fft" => 64,
+        _ => 128,
+    }
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("asip_simulation");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    group.sample_size(20);
+    for b in SUITE {
+        let n = small_n(b.id);
+        for (label, opt) in [("base", OptLevel::baseline()), ("opt", OptLevel::full())] {
+            let compiled = Compiler::new()
+                .opt_level(opt)
+                .compile(b.source, b.entry, &b.arg_types(n))
+                .expect("compiles");
+            let inputs: Vec<_> = b.inputs(n, 3).iter().map(to_sim).collect();
+            group.bench_function(format!("{}_{label}", b.id), |bencher| {
+                bencher.iter(|| {
+                    let out = compiled.simulate(inputs.clone()).expect("sim ok");
+                    std::hint::black_box(out.cycles.total)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! **Fig. 3 — retargetability: speedup vs. SIMD width.**
+//!
+//! The same MATLAB sources, recompiled against parameterized ISA
+//! descriptions that differ only in vector width. The paper's central
+//! claim is that the instruction set is a *parameter*; this figure shows
+//! the compiler exploiting each variant without source changes.
+//! Regenerate with: `cargo run -p matic-bench --bin repro_fig3 [--quick]`
+
+use matic::{IsaSpec, OptLevel};
+use matic_bench::{measure, render_table, speedup};
+use matic_benchkit::SUITE;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let widths = [1usize, 2, 4, 8, 16];
+    let mut rows = Vec::new();
+    for b in SUITE {
+        let n = if quick {
+            match b.id {
+                "matmul" => 8,
+                "fft" => 64,
+                _ => 128,
+            }
+        } else {
+            b.default_n
+        };
+        // The baseline is fixed: scalar code, no custom instructions.
+        let base = measure(b, n, IsaSpec::dsp16(), OptLevel::baseline(), 1);
+        let mut row = vec![b.id.to_string()];
+        for w in widths {
+            let spec = IsaSpec::with_width(w);
+            let m = measure(b, n, spec, OptLevel::full(), 1);
+            row.push(format!("{:.2}x", speedup(base.cycles, m.cycles)));
+        }
+        rows.push(row);
+    }
+    println!("Fig. 3: speedup over the scalar baseline vs. SIMD vector width");
+    println!("(same sources, same compiler; only the ISA description changes)");
+    println!();
+    let headers: Vec<String> = std::iter::once("bench".to_string())
+        .chain(widths.iter().map(|w| format!("W={w}")))
+        .collect();
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    println!("{}", render_table(&header_refs, &rows));
+    println!("Expected shape: data-parallel kernels scale with W until memory");
+    println!("traffic dominates; IIR stays near 1x at every width (serial recurrence).");
+}

@@ -1,0 +1,67 @@
+//! **Table 2 / Fig. 2 — the headline result.**
+//!
+//! Cycle counts of the proposed compiler's code vs. the MATLAB-Coder-like
+//! baseline on the `dsp16` ASIP, per benchmark, plus the speedup series
+//! (the paper reports 2×–30× across six DSP benchmarks). Regenerate with:
+//! `cargo run -p matic-bench --bin repro_table2 [--quick]`
+
+use matic::{IsaSpec, OptLevel};
+use matic_bench::{measure, render_table, speedup};
+use matic_benchkit::SUITE;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mut rows = Vec::new();
+    let mut series = Vec::new();
+    for b in SUITE {
+        let n = if quick {
+            match b.id {
+                "matmul" => 8,
+                "fft" => 64,
+                _ => 128,
+            }
+        } else {
+            b.default_n
+        };
+        let base = measure(b, n, IsaSpec::dsp16(), OptLevel::baseline(), 1);
+        let opt = measure(b, n, IsaSpec::dsp16(), OptLevel::full(), 1);
+        let s = speedup(base.cycles, opt.cycles);
+        series.push((b.id, s));
+        rows.push(vec![
+            b.id.to_string(),
+            n.to_string(),
+            base.cycles.to_string(),
+            opt.cycles.to_string(),
+            format!("{s:.2}x"),
+            format!("{}", opt.vector_cycles),
+            format!("{}", opt.complex_cycles),
+        ]);
+    }
+    println!("Table 2: cycle counts on the dsp16 ASIP (baseline = MATLAB-Coder-like scalar C,");
+    println!("proposed = custom-instruction compiler; outputs verified against the interpreter)");
+    println!();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "bench",
+                "N",
+                "baseline-cycles",
+                "proposed-cycles",
+                "speedup",
+                "simd-cyc",
+                "cplx-cyc"
+            ],
+            &rows
+        )
+    );
+    println!("Fig. 2: speedup per benchmark (bar-chart series)");
+    for (id, s) in &series {
+        let bar = "#".repeat((s * 2.0).round() as usize);
+        println!("  {id:>7} {s:6.2}x |{bar}");
+    }
+    let min = series.iter().map(|(_, s)| *s).fold(f64::MAX, f64::min);
+    let max = series.iter().map(|(_, s)| *s).fold(f64::MIN, f64::max);
+    println!();
+    println!("speedup range: {min:.2}x .. {max:.2}x  (paper: 2x .. 30x)");
+}

@@ -1,0 +1,141 @@
+//! # matic-bench
+//!
+//! Shared measurement machinery for the reproduction binaries
+//! (`repro_table1` … `repro_fig4`), which regenerate the tables and
+//! figures of the DATE'16 evaluation on the virtual ASIP.
+
+use matic::{Compiled, Compiler, IsaSpec, OptLevel};
+use matic_benchkit::{outputs_close, sim_to_cvalue, to_sim, Benchmark};
+
+/// One measured (benchmark, target, opt-level) cell.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark id.
+    pub bench: &'static str,
+    /// Target name.
+    pub target: String,
+    /// Total cycles of one kernel invocation.
+    pub cycles: u64,
+    /// Instructions issued.
+    pub instructions: u64,
+    /// Cycles in SIMD instruction classes.
+    pub vector_cycles: u64,
+    /// Cycles in complex-arithmetic instruction classes.
+    pub complex_cycles: u64,
+    /// What the vectorizer recognized.
+    pub report: matic::VectorizeReport,
+}
+
+/// Compiles and simulates one benchmark, verifying the outputs against
+/// the reference interpreter before trusting the cycle count.
+///
+/// # Panics
+///
+/// Panics when compilation, simulation or verification fails — a repro
+/// binary must never print numbers from a kernel that computed garbage.
+pub fn measure(
+    bench: &Benchmark,
+    n: usize,
+    spec: IsaSpec,
+    opt: OptLevel,
+    seed: u64,
+) -> Measurement {
+    let compiled: Compiled = Compiler::new()
+        .target(spec)
+        .opt_level(opt)
+        .compile(bench.source, bench.entry, &bench.arg_types(n))
+        .unwrap_or_else(|e| panic!("{}: compile failed: {e}", bench.id));
+    let inputs = bench.inputs(n, seed);
+    let expected = &bench
+        .reference_outputs(&inputs)
+        .unwrap_or_else(|e| panic!("{}: interpreter failed: {e}", bench.id))[0];
+    let outcome = compiled
+        .simulate(inputs.iter().map(to_sim).collect())
+        .unwrap_or_else(|e| panic!("{}: simulation failed: {e}", bench.id));
+    let got = sim_to_cvalue(&outcome.outputs[0]);
+    outputs_close(&got, expected, 1e-9).unwrap_or_else(|e| {
+        panic!(
+            "{}: output mismatch — refusing to report cycles: {e}",
+            bench.id
+        )
+    });
+    Measurement {
+        bench: bench.id,
+        target: compiled.spec.name.clone(),
+        cycles: outcome.cycles.total,
+        instructions: outcome.cycles.instructions,
+        vector_cycles: outcome.cycles.vector_cycles(),
+        complex_cycles: outcome.cycles.complex_cycles(),
+        report: compiled.report,
+    }
+}
+
+/// Formats one speedup with two decimals.
+pub fn speedup(baseline: u64, optimized: u64) -> f64 {
+    baseline as f64 / optimized.max(1) as f64
+}
+
+/// Renders an aligned text table.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (k, cell) in row.iter().enumerate() {
+            if k < widths.len() {
+                widths[k] = widths[k].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (k, c) in cells.iter().enumerate() {
+            line.push_str(&format!("{:<width$}  ", c, width = widths[k]));
+        }
+        line.trim_end().to_string()
+    };
+    let mut out = String::new();
+    let hdr: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&hdr, &widths));
+    out.push('\n');
+    let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matic_benchkit::benchmark;
+
+    #[test]
+    fn measure_verifies_and_counts() {
+        let b = benchmark("fir").unwrap();
+        let m = measure(b, 64, IsaSpec::dsp16(), OptLevel::full(), 5);
+        assert!(m.cycles > 0);
+        assert!(m.instructions > 0);
+        assert!(m.vector_cycles > 0, "fir should use SIMD");
+    }
+
+    #[test]
+    fn speedup_math() {
+        assert_eq!(speedup(100, 50), 2.0);
+        assert_eq!(speedup(100, 0), 100.0);
+    }
+
+    #[test]
+    fn table_rendering_aligns() {
+        let t = render_table(
+            &["bench", "cycles"],
+            &[
+                vec!["fir".into(), "123".into()],
+                vec!["iir".into(), "45".into()],
+            ],
+        );
+        assert!(t.contains("bench"));
+        assert!(t.lines().count() >= 4);
+    }
+}

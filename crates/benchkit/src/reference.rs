@@ -1,0 +1,218 @@
+//! Straightforward Rust implementations of the six kernels.
+//!
+//! These anchor the MATLAB sources' correctness *independently* of the
+//! interpreter: the test suite checks `interp(kernel.m) == rust_ref`,
+//! so a bug shared by interpreter and compiler cannot hide.
+
+use matic::CValue;
+
+/// FIR filter: `y(k) = Σ_t h(t) x(k-t+1)`.
+pub fn fir(x: &[f64], h: &[f64]) -> Vec<f64> {
+    let n = x.len();
+    let m = h.len();
+    (0..n)
+        .map(|k| {
+            let hi = (k + 1).min(m);
+            (0..hi).map(|t| h[t] * x[k - t]).sum()
+        })
+        .collect()
+}
+
+/// Direct-form IIR filter (`a[0]` normalizing).
+pub fn iir(x: &[f64], b: &[f64], a: &[f64]) -> Vec<f64> {
+    let n = x.len();
+    let mut y = vec![0.0; n];
+    for k in 0..n {
+        let mut acc = 0.0;
+        for (t, bt) in b.iter().enumerate() {
+            if t <= k {
+                acc += bt * x[k - t];
+            }
+        }
+        for (t, at) in a.iter().enumerate().skip(1) {
+            if t <= k {
+                acc -= at * y[k - t];
+            }
+        }
+        y[k] = acc / a[0];
+    }
+    y
+}
+
+/// Point-wise complex multiply of `(re, im)` pair slices.
+pub fn cmult(x: &[(f64, f64)], w: &[(f64, f64)]) -> Vec<(f64, f64)> {
+    x.iter()
+        .zip(w)
+        .map(|(&(ar, ai), &(br, bi))| (ar * br - ai * bi, ar * bi + ai * br))
+        .collect()
+}
+
+/// Naive DFT (the FFT oracle): `X(k) = Σ_t x(t) e^{-2πi kt / n}`.
+pub fn dft(x: &[(f64, f64)]) -> Vec<(f64, f64)> {
+    let n = x.len();
+    (0..n)
+        .map(|k| {
+            let mut re = 0.0;
+            let mut im = 0.0;
+            for (t, &(xr, xi)) in x.iter().enumerate() {
+                let ang = -2.0 * std::f64::consts::PI * (k * t) as f64 / n as f64;
+                let (s, c) = ang.sin_cos();
+                re += xr * c - xi * s;
+                im += xr * s + xi * c;
+            }
+            (re, im)
+        })
+        .collect()
+}
+
+/// Column-major matrix multiply: `c = a * b`, all `n×n`.
+pub fn matmul(a: &[f64], b: &[f64], n: usize) -> Vec<f64> {
+    let mut c = vec![0.0; n * n];
+    for j in 0..n {
+        for k in 0..n {
+            let bkj = b[j * n + k];
+            for i in 0..n {
+                c[j * n + i] += a[k * n + i] * bkj;
+            }
+        }
+    }
+    c
+}
+
+/// Cross-correlation over `[-maxlag, maxlag]`:
+/// `r(lag) = Σ_t x(t+lag) y(t)` (1-based MATLAB window semantics).
+pub fn xcorr(x: &[f64], y: &[f64], maxlag: usize) -> Vec<f64> {
+    let n = x.len() as i64;
+    let ml = maxlag as i64;
+    (-ml..=ml)
+        .map(|lag| {
+            let lo = 1.max(1 - lag);
+            let hi = n.min(n - lag);
+            (lo..=hi)
+                .map(|t| x[(t + lag - 1) as usize] * y[(t - 1) as usize])
+                .sum()
+        })
+        .collect()
+}
+
+/// Runs the Rust reference for benchmark `id` on harness inputs,
+/// producing the expected primary output.
+///
+/// # Panics
+///
+/// Panics on unknown ids or malformed inputs — references are test-side
+/// infrastructure.
+pub fn run(id: &str, inputs: &[CValue]) -> CValue {
+    match id {
+        "fir" => CValue::row(&fir(&inputs[0].re, &inputs[1].re)),
+        "iir" => CValue::row(&iir(&inputs[0].re, &inputs[1].re, &inputs[2].re)),
+        "cmult" => {
+            let pairs = |v: &CValue| -> Vec<(f64, f64)> {
+                let im = v.im.clone().unwrap_or_else(|| vec![0.0; v.numel()]);
+                v.re.iter().copied().zip(im).collect()
+            };
+            CValue::cx_row(&cmult(&pairs(&inputs[0]), &pairs(&inputs[1])))
+        }
+        "fft" => {
+            let im = inputs[0]
+                .im
+                .clone()
+                .unwrap_or_else(|| vec![0.0; inputs[0].numel()]);
+            let x: Vec<(f64, f64)> = inputs[0].re.iter().copied().zip(im).collect();
+            CValue::cx_row(&dft(&x))
+        }
+        "matmul" => {
+            let n = inputs[0].rows;
+            let c = matmul(&inputs[0].re, &inputs[1].re, n);
+            CValue {
+                rows: n,
+                cols: n,
+                re: c,
+                im: None,
+            }
+        }
+        "xcorr" => {
+            let maxlag = inputs[2].re[0] as usize;
+            CValue::row(&xcorr(&inputs[0].re, &inputs[1].re, maxlag))
+        }
+        other => panic!("unknown benchmark `{other}`"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{benchmark, outputs_close, SUITE};
+
+    #[test]
+    fn fir_impulse_response_is_taps() {
+        let mut x = vec![0.0; 8];
+        x[0] = 1.0;
+        let h = vec![3.0, 2.0, 1.0];
+        let y = fir(&x, &h);
+        assert_eq!(&y[..3], &[3.0, 2.0, 1.0]);
+        assert!(y[3..].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn dft_of_constant_is_impulse() {
+        let x = vec![(1.0, 0.0); 8];
+        let out = dft(&x);
+        assert!((out[0].0 - 8.0).abs() < 1e-9);
+        for &(re, im) in &out[1..] {
+            assert!(re.abs() < 1e-9 && im.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let n = 3;
+        let mut eye = vec![0.0; 9];
+        for i in 0..n {
+            eye[i * n + i] = 1.0;
+        }
+        let a: Vec<f64> = (0..9).map(|v| v as f64).collect();
+        assert_eq!(matmul(&a, &eye, n), a);
+        assert_eq!(matmul(&eye, &a, n), a);
+    }
+
+    #[test]
+    fn xcorr_peak_at_zero_lag_for_identical_signals() {
+        let x = vec![1.0, -2.0, 3.0, -1.0];
+        let r = xcorr(&x, &x, 2);
+        let peak = r.iter().cloned().fold(f64::MIN, f64::max);
+        assert_eq!(peak, r[2]); // zero-lag is the middle
+    }
+
+    /// The load-bearing test: the MATLAB kernels (run on the interpreter)
+    /// agree with the independent Rust references.
+    #[test]
+    fn matlab_kernels_match_rust_references() {
+        for b in SUITE {
+            let n = match b.id {
+                "matmul" => 6,
+                "fft" => 32,
+                _ => 48,
+            };
+            let inputs = b.inputs(n, 99);
+            let got = &b
+                .reference_outputs(&inputs)
+                .unwrap_or_else(|e| panic!("{}: interp failed: {e}", b.id))[0];
+            let want = run(b.id, &inputs);
+            outputs_close(got, &want, 1e-9)
+                .unwrap_or_else(|e| panic!("{} mismatch: {e}", b.id));
+        }
+    }
+
+    #[test]
+    fn fft_specifically_matches_dft_at_default_sizes() {
+        let b = benchmark("fft").unwrap();
+        for n in [2usize, 4, 8, 64, 128] {
+            let inputs = b.inputs(n, 5);
+            let got = &b.reference_outputs(&inputs).expect("interp ok")[0];
+            let want = run("fft", &inputs);
+            outputs_close(got, &want, 1e-9)
+                .unwrap_or_else(|e| panic!("fft n={n}: {e}"));
+        }
+    }
+}

@@ -1,0 +1,1392 @@
+// Continuation of `FnEmitter` — included from emit.rs so the type's
+// methods stay in one module without one 2000-line file.
+
+impl<'a> FnEmitter<'a> {
+    // ---- indexing -------------------------------------------------------
+
+    fn emit_index_load(
+        &mut self,
+        dst: VarId,
+        array: VarId,
+        indices: &[Index],
+        span: Span,
+    ) -> Result<(), CodegenError> {
+        let dname = c_name(self.f, dst);
+        let aname = c_name(self.f, array);
+        let drepr = self.repr(dst)?;
+        let arepr = self.repr(array)?;
+        let widen = drepr.is_cx();
+        if arepr.is_cx() && !widen {
+            return Err(CodegenError::new(
+                "complex array indexed into real destination",
+                span,
+            ));
+        }
+        match indices {
+            [Index::Scalar(op)] if self.op_repr(*op)?.is_scalar() && drepr.is_scalar() => {
+                let i0 = self.index0(*op, span)?;
+                let e = self.checked_elem(array, &i0, widen, "index")?;
+                self.line(&format!("{dname} = {e};"));
+                Ok(())
+            }
+            [Index::Scalar(r), Index::Scalar(c)]
+                if self.op_repr(*r)?.is_scalar()
+                    && self.op_repr(*c)?.is_scalar()
+                    && drepr.is_scalar() =>
+            {
+                let r0 = self.index0(*r, span)?;
+                let c0 = self.index0(*c, span)?;
+                let idx = format!("(({c0}) * {aname}.rows + ({r0}))");
+                let e = self.checked_elem(array, &idx, widen, "index")?;
+                self.line(&format!("{dname} = {e};"));
+                Ok(())
+            }
+            // Gather: x(idx) with a vector of indices.
+            [Index::Scalar(op)] if !self.op_repr(*op)?.is_scalar() => {
+                let iv = op.as_var().expect("gather index var");
+                let ivn = c_name(self.f, iv);
+                let alloc = if drepr.is_cx() {
+                    "matic_carr_alloc"
+                } else {
+                    "matic_arr_alloc"
+                };
+                self.line(&format!("{dname} = {alloc}({ivn}.rows, {ivn}.cols);"));
+                let i = self.fresh("i");
+                let src = self.checked_elem(
+                    array,
+                    &format!("((int){ivn}.data[{i}] - 1)"),
+                    widen,
+                    "gather",
+                )?;
+                self.line(&format!(
+                    "{{ int {i}; for ({i} = 0; {i} < {ivn}.rows * {ivn}.cols; ++{i}) {dname}.data[{i}] = {src}; }}"
+                ));
+                Ok(())
+            }
+            [Index::Range { start, step, stop }] => {
+                let s = self.scalar(*start, false, span)?;
+                let st = self.scalar(*step, false, span)?;
+                let e = self.scalar(*stop, false, span)?;
+                let n = self.fresh("n");
+                let i = self.fresh("i");
+                let sv = self.fresh("s");
+                let stv = self.fresh("st");
+                let col = self.f.var_ty(dst).shape.cols.is_one()
+                    && !self.f.var_ty(dst).shape.rows.is_one();
+                let alloc = if drepr.is_cx() {
+                    "matic_carr_alloc"
+                } else {
+                    "matic_arr_alloc"
+                };
+                self.line("{");
+                self.indent += 1;
+                self.line(&format!("double {sv} = {s}, {stv} = {st};"));
+                self.line(&format!(
+                    "int {n} = ({stv} == 0.0) ? 0 : (int)floor((({e}) - {sv}) / {stv} + 1e-10) + 1;"
+                ));
+                self.line(&format!("if ({n} < 0) {n} = 0;"));
+                if col {
+                    self.line(&format!("{dname} = {alloc}({n}, 1);"));
+                } else {
+                    self.line(&format!("{dname} = {alloc}(1, {n});"));
+                }
+                let src = self.checked_elem(
+                    array,
+                    &format!("((int)({sv} + {stv} * (double){i}) - 1)"),
+                    widen,
+                    "slice",
+                )?;
+                self.line(&format!(
+                    "{{ int {i}; for ({i} = 0; {i} < {n}; ++{i}) {dname}.data[{i}] = {src}; }}"
+                ));
+                self.indent -= 1;
+                self.line("}");
+                Ok(())
+            }
+            // x(:) — all elements as a column.
+            [Index::Full] => {
+                let alloc = if drepr.is_cx() {
+                    "matic_carr_alloc"
+                } else {
+                    "matic_arr_alloc"
+                };
+                self.line(&format!(
+                    "{dname} = {alloc}({aname}.rows * {aname}.cols, 1);"
+                ));
+                let i = self.fresh("i");
+                let src = self.checked_elem(array, &i, widen, "colon")?;
+                self.line(&format!(
+                    "{{ int {i}; for ({i} = 0; {i} < {aname}.rows * {aname}.cols; ++{i}) {dname}.data[{i}] = {src}; }}"
+                ));
+                Ok(())
+            }
+            [ri, ci] => self.emit_index_load_2d(dst, array, ri, ci, span),
+            _ => Err(CodegenError::new(
+                "unsupported indexing form in C backend",
+                span,
+            )),
+        }
+    }
+
+    /// `(count_expr, base_expr(k))` pair describing one 2-D subscript.
+    fn subscript_plan(
+        &mut self,
+        idx: &Index,
+        dim_extent: &str,
+        span: Span,
+    ) -> Result<(String, Box<dyn Fn(&str) -> String>), CodegenError> {
+        match idx {
+            Index::Scalar(op) => {
+                let i0 = self.index0(*op, span)?;
+                Ok(("1".to_string(), {
+                    let i0 = i0.clone();
+                    Box::new(move |_k: &str| i0.clone())
+                }))
+            }
+            Index::Full => {
+                let ext = dim_extent.to_string();
+                Ok((ext, Box::new(move |k: &str| k.to_string())))
+            }
+            Index::Range { start, step, stop } => {
+                let s = self.scalar(*start, false, span)?;
+                let st = self.scalar(*step, false, span)?;
+                let e = self.scalar(*stop, false, span)?;
+                let n = format!(
+                    "(({st}) == 0.0 ? 0 : (int)floor((({e}) - ({s})) / ({st}) + 1e-10) + 1)"
+                );
+                Ok((n, {
+                    let s = s.clone();
+                    let st = st.clone();
+                    Box::new(move |k: &str| {
+                        format!("((int)(({s}) + ({st}) * (double)({k})) - 1)")
+                    })
+                }))
+            }
+        }
+    }
+
+    fn emit_index_load_2d(
+        &mut self,
+        dst: VarId,
+        array: VarId,
+        ri: &Index,
+        ci: &Index,
+        span: Span,
+    ) -> Result<(), CodegenError> {
+        let dname = c_name(self.f, dst);
+        let aname = c_name(self.f, array);
+        let drepr = self.repr(dst)?;
+        let widen = drepr.is_cx();
+        let (nr, rbase) = self.subscript_plan(ri, &format!("{aname}.rows"), span)?;
+        let (nc, cbase) = self.subscript_plan(ci, &format!("{aname}.cols"), span)?;
+        if drepr.is_scalar() {
+            let idx = format!("(({}) * {aname}.rows + ({}))", cbase("0"), rbase("0"));
+            let e = self.checked_elem(array, &idx, widen, "index2d")?;
+            self.line(&format!("{dname} = {e};"));
+            return Ok(());
+        }
+        let alloc = if drepr.is_cx() {
+            "matic_carr_alloc"
+        } else {
+            "matic_arr_alloc"
+        };
+        let (i, j) = (self.fresh("i"), self.fresh("j"));
+        self.line(&format!("{dname} = {alloc}({nr}, {nc});"));
+        let idx = format!("(({}) * {aname}.rows + ({}))", cbase(&j), rbase(&i));
+        let e = self.checked_elem(array, &idx, widen, "index2d")?;
+        self.line(&format!(
+            "{{ int {i}, {j}; for ({j} = 0; {j} < {dname}.cols; ++{j}) for ({i} = 0; {i} < {dname}.rows; ++{i}) {dname}.data[{j} * {dname}.rows + {i}] = {e}; }}"
+        ));
+        Ok(())
+    }
+
+    fn checked_elem(
+        &self,
+        array: VarId,
+        idx0: &str,
+        widen: bool,
+        what: &str,
+    ) -> Result<String, CodegenError> {
+        let aname = c_name(self.f, array);
+        let e = format!(
+            "{aname}.data[MATIC_IDX({idx0}, {aname}.rows * {aname}.cols, \"{what}\")]"
+        );
+        let is_cx = self.repr(array)?.is_cx();
+        Ok(match (is_cx, widen) {
+            (false, true) => format!("cx_make({e}, 0.0)"),
+            _ => e,
+        })
+    }
+
+    fn emit_store(
+        &mut self,
+        array: VarId,
+        indices: &[Index],
+        value: Operand,
+        span: Span,
+    ) -> Result<(), CodegenError> {
+        let aname = c_name(self.f, array);
+        let arepr = self.repr(array)?;
+        let want_cx = arepr.is_cx();
+        match indices {
+            [Index::Scalar(op)] if self.op_repr(*op)?.is_scalar() => {
+                if !self.op_repr(value)?.is_scalar() {
+                    return Err(CodegenError::new(
+                        "array stored at a scalar subscript",
+                        span,
+                    ));
+                }
+                let i0 = self.index0(*op, span)?;
+                let v = self.scalar(value, want_cx, span)?;
+                self.line(&format!(
+                    "{aname}.data[MATIC_IDX({i0}, {aname}.rows * {aname}.cols, \"store\")] = {v};"
+                ));
+                Ok(())
+            }
+            [Index::Scalar(r), Index::Scalar(c)]
+                if self.op_repr(*r)?.is_scalar() && self.op_repr(*c)?.is_scalar() =>
+            {
+                let r0 = self.index0(*r, span)?;
+                let c0 = self.index0(*c, span)?;
+                let v = self.scalar(value, want_cx, span)?;
+                self.line(&format!(
+                    "{aname}.data[MATIC_IDX((({c0}) * {aname}.rows + ({r0})), {aname}.rows * {aname}.cols, \"store\")] = {v};"
+                ));
+                Ok(())
+            }
+            // Gather store: x(idx) = v with idx a vector.
+            [Index::Scalar(op)] => {
+                let iv = op.as_var().expect("gather index var");
+                let ivn = c_name(self.f, iv);
+                let i = self.fresh("i");
+                let v = if self.op_repr(value)?.is_scalar() {
+                    self.scalar(value, want_cx, span)?
+                } else {
+                    self.elem(value, &i, want_cx, span)?
+                };
+                self.line(&format!(
+                    "{{ int {i}; for ({i} = 0; {i} < {ivn}.rows * {ivn}.cols; ++{i}) {aname}.data[MATIC_IDX((int){ivn}.data[{i}] - 1, {aname}.rows * {aname}.cols, \"store\")] = {v}; }}"
+                ));
+                Ok(())
+            }
+            [Index::Range { start, step, stop }] => {
+                let s = self.scalar(*start, false, span)?;
+                let st = self.scalar(*step, false, span)?;
+                let e = self.scalar(*stop, false, span)?;
+                let n = self.fresh("n");
+                let i = self.fresh("i");
+                let sv = self.fresh("s");
+                let stv = self.fresh("st");
+                self.line("{");
+                self.indent += 1;
+                self.line(&format!("double {sv} = {s}, {stv} = {st};"));
+                self.line(&format!(
+                    "int {n} = ({stv} == 0.0) ? 0 : (int)floor((({e}) - {sv}) / {stv} + 1e-10) + 1;"
+                ));
+                let v = if self.op_repr(value)?.is_scalar() {
+                    self.scalar(value, want_cx, span)?
+                } else {
+                    self.elem(value, &i, want_cx, span)?
+                };
+                self.line(&format!(
+                    "{{ int {i}; for ({i} = 0; {i} < {n}; ++{i}) {aname}.data[MATIC_IDX((int)({sv} + {stv} * (double){i}) - 1, {aname}.rows * {aname}.cols, \"store\")] = {v}; }}"
+                ));
+                self.indent -= 1;
+                self.line("}");
+                Ok(())
+            }
+            [Index::Full] => {
+                let i = self.fresh("i");
+                let v = if self.op_repr(value)?.is_scalar() {
+                    self.scalar(value, want_cx, span)?
+                } else {
+                    self.elem(value, &i, want_cx, span)?
+                };
+                self.line(&format!(
+                    "{{ int {i}; for ({i} = 0; {i} < {aname}.rows * {aname}.cols; ++{i}) {aname}.data[{i}] = {v}; }}"
+                ));
+                Ok(())
+            }
+            [ri, ci] => {
+                let (nr, rbase) = self.subscript_plan(ri, &format!("{aname}.rows"), span)?;
+                let (nc, cbase) = self.subscript_plan(ci, &format!("{aname}.cols"), span)?;
+                let (i, j) = (self.fresh("i"), self.fresh("j"));
+                let lin = format!("({nr}) * ({j}) + ({i})");
+                let v = if self.op_repr(value)?.is_scalar() {
+                    self.scalar(value, want_cx, span)?
+                } else {
+                    self.elem(value, &lin, want_cx, span)?
+                };
+                let idx = format!("(({}) * {aname}.rows + ({}))", cbase(&j), rbase(&i));
+                self.line(&format!(
+                    "{{ int {i}, {j}; for ({j} = 0; {j} < ({nc}); ++{j}) for ({i} = 0; {i} < ({nr}); ++{i}) {aname}.data[MATIC_IDX({idx}, {aname}.rows * {aname}.cols, \"store2d\")] = {v}; }}"
+                ));
+                Ok(())
+            }
+            _ => Err(CodegenError::new("unsupported store form", span)),
+        }
+    }
+
+    // ---- builtins ---------------------------------------------------------
+
+    fn emit_builtin(
+        &mut self,
+        dst: VarId,
+        name: &str,
+        args: &[Operand],
+        span: Span,
+    ) -> Result<(), CodegenError> {
+        let dname = c_name(self.f, dst);
+        let drepr = self.repr(dst)?;
+        let arg_is_scalar = |k: usize| -> Result<bool, CodegenError> {
+            Ok(self
+                .op_repr(*args.get(k).unwrap_or(&Operand::Const(0.0)))?
+                .is_scalar())
+        };
+
+        // Constants.
+        match name {
+            "pi" => {
+                self.line(&format!("{dname} = 3.14159265358979311599796346854;"));
+                return Ok(());
+            }
+            "eps" => {
+                self.line(&format!("{dname} = 2.220446049250313e-16;"));
+                return Ok(());
+            }
+            "Inf" | "inf" => {
+                self.line(&format!("{dname} = INFINITY;"));
+                return Ok(());
+            }
+            "NaN" | "nan" => {
+                self.line(&format!("{dname} = NAN;"));
+                return Ok(());
+            }
+            "i" | "j" => {
+                self.line(&format!("{dname} = cx_make(0.0, 1.0);"));
+                return Ok(());
+            }
+            _ => {}
+        }
+
+        // Shape queries.
+        if matches!(name, "numel" | "length" | "size" | "isempty") {
+            let a = args[0];
+            let expr = match (name, a.as_var()) {
+                (_, None) => match name {
+                    "numel" | "length" => "1.0".to_string(),
+                    "isempty" => "0.0".to_string(),
+                    _ => "1.0".to_string(),
+                },
+                (n, Some(v)) => {
+                    let vn = c_name(self.f, v);
+                    if self.repr(v)?.is_scalar() {
+                        match n {
+                            "numel" | "length" => "1.0".to_string(),
+                            "isempty" => "0.0".to_string(),
+                            "size" => {
+                                // size(scalar, d) == 1
+                                "1.0".to_string()
+                            }
+                            _ => unreachable!(),
+                        }
+                    } else {
+                        match n {
+                            "numel" => format!("(double)({vn}.rows * {vn}.cols)"),
+                            "length" => format!(
+                                "(double)(({vn}.rows * {vn}.cols == 0) ? 0 : ({vn}.rows > {vn}.cols ? {vn}.rows : {vn}.cols))"
+                            ),
+                            "isempty" => {
+                                format!("(({vn}.rows * {vn}.cols == 0) ? 1.0 : 0.0)")
+                            }
+                            "size" => {
+                                let d = args.get(1).copied().ok_or_else(|| {
+                                    CodegenError::new(
+                                        "size() without dimension needs multi-assign",
+                                        span,
+                                    )
+                                })?;
+                                let d0 = self.scalar(d, false, span)?;
+                                format!(
+                                    "(double)(((int)({d0}) == 1) ? {vn}.rows : (((int)({d0}) == 2) ? {vn}.cols : 1))"
+                                )
+                            }
+                            _ => unreachable!(),
+                        }
+                    }
+                }
+            };
+            self.line(&format!("{dname} = {expr};"));
+            return Ok(());
+        }
+
+        // Scalar math on scalar operands.
+        if drepr.is_scalar() && args.iter().all(|a| self.op_repr(*a).map(Repr::is_scalar).unwrap_or(false)) {
+            return self.emit_scalar_builtin(dst, name, args, span);
+        }
+
+        // Reductions over arrays.
+        if matches!(
+            name,
+            "sum" | "prod" | "mean" | "min" | "max" | "dot" | "norm" | "any" | "all"
+        ) && !arg_is_scalar(0)?
+        {
+            return self.emit_reduction_builtin(dst, name, args, span);
+        }
+
+        // Element-wise maps over arrays.
+        if args.len() == 1 && !arg_is_scalar(0)? {
+            return self.emit_map_builtin(dst, name, args[0], span);
+        }
+
+        // linspace / complex with scalar args producing arrays.
+        match name {
+            "linspace" => {
+                let a = self.scalar(args[0], false, span)?;
+                let b = self.scalar(args[1], false, span)?;
+                let n = if args.len() > 2 {
+                    format!("(int)({})", self.scalar(args[2], false, span)?)
+                } else {
+                    "100".to_string()
+                };
+                let i = self.fresh("i");
+                let nn = self.fresh("n");
+                self.line("{");
+                self.indent += 1;
+                self.line(&format!("int {nn} = {n};"));
+                self.line(&format!("{dname} = matic_arr_alloc(1, {nn});"));
+                self.line(&format!(
+                    "{{ int {i}; for ({i} = 0; {i} < {nn}; ++{i}) {dname}.data[{i}] = ({nn} == 1) ? ({b}) : (({a}) + (({b}) - ({a})) * (double){i} / (double)({nn} - 1)); }}"
+                ));
+                self.indent -= 1;
+                self.line("}");
+                Ok(())
+            }
+            "complex" => {
+                // complex(re, im) with at least one array argument.
+                let re = args[0];
+                let im = args[1];
+                let like = re.as_var().or_else(|| im.as_var()).ok_or_else(|| {
+                    CodegenError::new("complex() needs a variable argument", span)
+                })?;
+                let ln = c_name(self.f, like);
+                self.line(&format!("{dname} = matic_carr_alloc({ln}.rows, {ln}.cols);"));
+                let i = self.fresh("i");
+                let re_e = self.elem(re, &i, false, span)?;
+                let im_e = self.elem(im, &i, false, span)?;
+                self.line(&format!(
+                    "{{ int {i}; for ({i} = 0; {i} < {ln}.rows * {ln}.cols; ++{i}) {dname}.data[{i}] = cx_make({re_e}, {im_e}); }}"
+                ));
+                Ok(())
+            }
+            "fliplr" | "flipud" => {
+                let av = args[0].as_var().ok_or_else(|| {
+                    CodegenError::new("flip of constant", span)
+                })?;
+                let an = c_name(self.f, av);
+                let alloc = if drepr.is_cx() {
+                    "matic_carr_alloc"
+                } else {
+                    "matic_arr_alloc"
+                };
+                self.line(&format!("{dname} = {alloc}({an}.rows, {an}.cols);"));
+                let (i, j) = (self.fresh("i"), self.fresh("j"));
+                let src_idx = if name == "fliplr" {
+                    format!("({an}.cols - 1 - {j}) * {an}.rows + {i}")
+                } else {
+                    format!("{j} * {an}.rows + ({an}.rows - 1 - {i})")
+                };
+                self.line(&format!(
+                    "{{ int {i}, {j}; for ({j} = 0; {j} < {an}.cols; ++{j}) for ({i} = 0; {i} < {an}.rows; ++{i}) {dname}.data[{j} * {dname}.rows + {i}] = {an}.data[{src_idx}]; }}"
+                ));
+                Ok(())
+            }
+            _ => Err(CodegenError::new(
+                format!("builtin `{name}` is not supported by the C backend"),
+                span,
+            )),
+        }
+    }
+
+    fn emit_scalar_builtin(
+        &mut self,
+        dst: VarId,
+        name: &str,
+        args: &[Operand],
+        span: Span,
+    ) -> Result<(), CodegenError> {
+        let dname = c_name(self.f, dst);
+        let drepr = self.repr(dst)?;
+        let a0_cx = args
+            .first()
+            .map(|a| self.op_repr(*a).map(Repr::is_cx))
+            .transpose()?
+            .unwrap_or(false);
+        let expr = match name {
+            "abs" => {
+                if a0_cx {
+                    format!("cx_abs({})", self.scalar(args[0], true, span)?)
+                } else {
+                    format!("fabs({})", self.scalar(args[0], false, span)?)
+                }
+            }
+            "sqrt" => {
+                if drepr.is_cx() {
+                    format!("cx_sqrt({})", self.scalar(args[0], true, span)?)
+                } else {
+                    format!("sqrt({})", self.scalar(args[0], false, span)?)
+                }
+            }
+            "exp" => {
+                if drepr.is_cx() {
+                    format!("cx_exp({})", self.scalar(args[0], true, span)?)
+                } else {
+                    format!("exp({})", self.scalar(args[0], false, span)?)
+                }
+            }
+            "log" => format!("log({})", self.scalar(args[0], false, span)?),
+            "log2" => format!("log2({})", self.scalar(args[0], false, span)?),
+            "log10" => format!("log10({})", self.scalar(args[0], false, span)?),
+            "sin" => format!("sin({})", self.scalar(args[0], false, span)?),
+            "cos" => format!("cos({})", self.scalar(args[0], false, span)?),
+            "tan" => format!("tan({})", self.scalar(args[0], false, span)?),
+            "asin" => format!("asin({})", self.scalar(args[0], false, span)?),
+            "acos" => format!("acos({})", self.scalar(args[0], false, span)?),
+            "atan" => format!("atan({})", self.scalar(args[0], false, span)?),
+            "atan2" => format!(
+                "atan2({}, {})",
+                self.scalar(args[0], false, span)?,
+                self.scalar(args[1], false, span)?
+            ),
+            "floor" => format!("floor({})", self.scalar(args[0], false, span)?),
+            "ceil" => format!("ceil({})", self.scalar(args[0], false, span)?),
+            "round" => format!("matic_round({})", self.scalar(args[0], false, span)?),
+            "fix" => format!("matic_fix({})", self.scalar(args[0], false, span)?),
+            "sign" => format!("matic_sign({})", self.scalar(args[0], false, span)?),
+            "mod" => format!(
+                "matic_mod({}, {})",
+                self.scalar(args[0], false, span)?,
+                self.scalar(args[1], false, span)?
+            ),
+            "rem" => format!(
+                "matic_rem({}, {})",
+                self.scalar(args[0], false, span)?,
+                self.scalar(args[1], false, span)?
+            ),
+            "real" => {
+                if a0_cx {
+                    format!("({}).re", self.scalar(args[0], true, span)?)
+                } else {
+                    self.scalar(args[0], false, span)?
+                }
+            }
+            "imag" => {
+                if a0_cx {
+                    format!("({}).im", self.scalar(args[0], true, span)?)
+                } else {
+                    "0.0".to_string()
+                }
+            }
+            "conj" => {
+                if drepr.is_cx() {
+                    format!("cx_conj({})", self.scalar(args[0], true, span)?)
+                } else {
+                    self.scalar(args[0], false, span)?
+                }
+            }
+            "angle" => {
+                let e = self.scalar(args[0], true, span)?;
+                format!("atan2(({e}).im, ({e}).re)")
+            }
+            "min" | "max" if args.len() >= 2 => {
+                let f = if name == "min" { "fmin" } else { "fmax" };
+                format!(
+                    "{f}({}, {})",
+                    self.scalar(args[0], false, span)?,
+                    self.scalar(args[1], false, span)?
+                )
+            }
+            "min" | "max" | "sum" | "prod" | "mean" | "norm" => {
+                // Reduction of a scalar is the identity (norm is |x|).
+                if name == "norm" {
+                    format!("fabs({})", self.scalar(args[0], false, span)?)
+                } else {
+                    self.scalar(args[0], false, span)?
+                }
+            }
+            "complex" => {
+                format!(
+                    "cx_make({}, {})",
+                    self.scalar(args[0], false, span)?,
+                    self.scalar(args[1], false, span)?
+                )
+            }
+            "isreal" => {
+                if a0_cx {
+                    "0.0".to_string()
+                } else {
+                    "1.0".to_string()
+                }
+            }
+            "isscalar" => "1.0".to_string(),
+            _ => {
+                return Err(CodegenError::new(
+                    format!("scalar builtin `{name}` is not supported by the C backend"),
+                    span,
+                ))
+            }
+        };
+        self.line(&format!("{dname} = {expr};"));
+        Ok(())
+    }
+
+    fn emit_reduction_builtin(
+        &mut self,
+        dst: VarId,
+        name: &str,
+        args: &[Operand],
+        span: Span,
+    ) -> Result<(), CodegenError> {
+        let dname = c_name(self.f, dst);
+        let drepr = self.repr(dst)?;
+        let av = args[0]
+            .as_var()
+            .ok_or_else(|| CodegenError::new("reduction of constant", span))?;
+        let an = c_name(self.f, av);
+        let a_cx = self.repr(av)?.is_cx();
+        let i = self.fresh("i");
+        let n = format!("{an}.rows * {an}.cols");
+        match name {
+            "sum" | "mean" => {
+                if a_cx {
+                    let acc = self.fresh("acc");
+                    self.line(&format!(
+                        "{{ matic_cx {acc} = cx_make(0.0, 0.0); int {i}; for ({i} = 0; {i} < {n}; ++{i}) {acc} = cx_add({acc}, {an}.data[{i}]);"
+                    ));
+                    if name == "mean" {
+                        self.line(&format!(
+                            "  {dname} = cx_scale({acc}, 1.0 / (double)({n})); }}"
+                        ));
+                    } else {
+                        self.line(&format!("  {dname} = {acc}; }}"));
+                    }
+                } else {
+                    let acc = self.fresh("acc");
+                    self.line(&format!(
+                        "{{ double {acc} = 0.0; int {i}; for ({i} = 0; {i} < {n}; ++{i}) {acc} += {an}.data[{i}];"
+                    ));
+                    let final_e = if name == "mean" {
+                        format!("{acc} / (double)({n})")
+                    } else {
+                        acc.clone()
+                    };
+                    if drepr.is_cx() {
+                        self.line(&format!("  {dname} = cx_make({final_e}, 0.0); }}"));
+                    } else {
+                        self.line(&format!("  {dname} = {final_e}; }}"));
+                    }
+                }
+                Ok(())
+            }
+            "prod" => {
+                if a_cx {
+                    let acc = self.fresh("acc");
+                    self.line(&format!(
+                        "{{ matic_cx {acc} = cx_make(1.0, 0.0); int {i}; for ({i} = 0; {i} < {n}; ++{i}) {acc} = cx_mul({acc}, {an}.data[{i}]); {dname} = {acc}; }}"
+                    ));
+                } else {
+                    let acc = self.fresh("acc");
+                    self.line(&format!(
+                        "{{ double {acc} = 1.0; int {i}; for ({i} = 0; {i} < {n}; ++{i}) {acc} *= {an}.data[{i}]; {dname} = {acc}; }}"
+                    ));
+                }
+                Ok(())
+            }
+            "min" | "max" => {
+                let cmp = if name == "min" { "<" } else { ">" };
+                self.line(&format!(
+                    "{{ double mi_best = {an}.data[0]; int {i}; for ({i} = 1; {i} < {n}; ++{i}) if ({an}.data[{i}] {cmp} mi_best) mi_best = {an}.data[{i}]; {dname} = mi_best; }}"
+                ));
+                Ok(())
+            }
+            "dot" => {
+                let bv = args[1]
+                    .as_var()
+                    .ok_or_else(|| CodegenError::new("dot of constant", span))?;
+                let bn = c_name(self.f, bv);
+                let b_cx = self.repr(bv)?.is_cx();
+                if a_cx || b_cx {
+                    let acc = self.fresh("acc");
+                    let ea = self.cast_elem(av, &i, true)?;
+                    let eb = self.cast_elem(bv, &i, true)?;
+                    self.line(&format!(
+                        "{{ matic_cx {acc} = cx_make(0.0, 0.0); int {i}; for ({i} = 0; {i} < {n}; ++{i}) {acc} = cx_add({acc}, cx_mul(cx_conj({ea}), {eb})); {dname} = {acc}; }}"
+                    ));
+                } else {
+                    let acc = self.fresh("acc");
+                    self.line(&format!(
+                        "{{ double {acc} = 0.0; int {i}; for ({i} = 0; {i} < {n}; ++{i}) {acc} += {an}.data[{i}] * {bn}.data[{i}]; {dname} = {acc}; }}"
+                    ));
+                }
+                Ok(())
+            }
+            "norm" => {
+                let acc = self.fresh("acc");
+                if a_cx {
+                    self.line(&format!(
+                        "{{ double {acc} = 0.0; int {i}; for ({i} = 0; {i} < {n}; ++{i}) {acc} += {an}.data[{i}].re * {an}.data[{i}].re + {an}.data[{i}].im * {an}.data[{i}].im; {dname} = sqrt({acc}); }}"
+                    ));
+                } else {
+                    self.line(&format!(
+                        "{{ double {acc} = 0.0; int {i}; for ({i} = 0; {i} < {n}; ++{i}) {acc} += {an}.data[{i}] * {an}.data[{i}]; {dname} = sqrt({acc}); }}"
+                    ));
+                }
+                Ok(())
+            }
+            "any" | "all" => {
+                let (init, upd, test) = if name == "any" {
+                    ("0.0", "1.0", "!= 0.0")
+                } else {
+                    ("1.0", "0.0", "== 0.0")
+                };
+                let probe = if a_cx {
+                    format!("({an}.data[{i}].re != 0.0 || {an}.data[{i}].im != 0.0)")
+                } else {
+                    format!("({an}.data[{i}] != 0.0)")
+                };
+                let cond = if name == "any" {
+                    probe
+                } else {
+                    format!("!{probe}")
+                };
+                let _ = test;
+                self.line(&format!(
+                    "{{ double mi_r = {init}; int {i}; for ({i} = 0; {i} < {n}; ++{i}) if ({cond}) {{ mi_r = {upd}; break; }} {dname} = mi_r; }}"
+                ));
+                Ok(())
+            }
+            _ => Err(CodegenError::new(
+                format!("reduction `{name}` unsupported"),
+                span,
+            )),
+        }
+    }
+
+    fn emit_map_builtin(
+        &mut self,
+        dst: VarId,
+        name: &str,
+        arg: Operand,
+        span: Span,
+    ) -> Result<(), CodegenError> {
+        let dname = c_name(self.f, dst);
+        let drepr = self.repr(dst)?;
+        let av = arg
+            .as_var()
+            .ok_or_else(|| CodegenError::new("map of constant", span))?;
+        let an = c_name(self.f, av);
+        let a_cx = self.repr(av)?.is_cx();
+        let i = self.fresh("i");
+        let src_real = format!("{an}.data[{i}]");
+        let src_cx = format!("{an}.data[{i}]");
+        let expr = match (name, a_cx, drepr.is_cx()) {
+            ("abs", true, false) => format!("cx_abs({src_cx})"),
+            ("abs", false, false) => format!("fabs({src_real})"),
+            ("sqrt", false, false) => format!("sqrt({src_real})"),
+            ("sqrt", true, true) => format!("cx_sqrt({src_cx})"),
+            ("exp", false, false) => format!("exp({src_real})"),
+            ("exp", true, true) => format!("cx_exp({src_cx})"),
+            ("log", false, false) => format!("log({src_real})"),
+            ("sin", false, false) => format!("sin({src_real})"),
+            ("cos", false, false) => format!("cos({src_real})"),
+            ("floor", false, false) => format!("floor({src_real})"),
+            ("ceil", false, false) => format!("ceil({src_real})"),
+            ("round", false, false) => format!("matic_round({src_real})"),
+            ("fix", false, false) => format!("matic_fix({src_real})"),
+            ("sign", false, false) => format!("matic_sign({src_real})"),
+            ("real", true, false) => format!("{src_cx}.re"),
+            ("real", false, false) => src_real.clone(),
+            ("imag", true, false) => format!("{src_cx}.im"),
+            ("imag", false, false) => "0.0".to_string(),
+            ("conj", true, true) => format!("cx_conj({src_cx})"),
+            ("conj", false, false) => src_real.clone(),
+            ("angle", true, false) => {
+                format!("atan2({src_cx}.im, {src_cx}.re)")
+            }
+            ("angle", false, false) => format!("(({src_real}) < 0.0 ? 3.14159265358979311599796346854 : 0.0)"),
+            ("cumsum", false, false) => {
+                // Special handling below (carries state).
+                let alloc = "matic_arr_alloc";
+                self.line(&format!("{dname} = {alloc}({an}.rows, {an}.cols);"));
+                let acc = self.fresh("acc");
+                self.line(&format!(
+                    "{{ double {acc} = 0.0; int {i}; for ({i} = 0; {i} < {an}.rows * {an}.cols; ++{i}) {{ {acc} += {an}.data[{i}]; {dname}.data[{i}] = {acc}; }} }}"
+                ));
+                return Ok(());
+            }
+            _ => {
+                return Err(CodegenError::new(
+                    format!(
+                        "element-wise builtin `{name}` ({}→{}) unsupported",
+                        if a_cx { "complex" } else { "real" },
+                        if drepr.is_cx() { "complex" } else { "real" }
+                    ),
+                    span,
+                ))
+            }
+        };
+        let alloc = if drepr.is_cx() {
+            "matic_carr_alloc"
+        } else {
+            "matic_arr_alloc"
+        };
+        self.line(&format!("{dname} = {alloc}({an}.rows, {an}.cols);"));
+        self.line(&format!(
+            "{{ int {i}; for ({i} = 0; {i} < {an}.rows * {an}.cols; ++{i}) {dname}.data[{i}] = {expr}; }}"
+        ));
+        Ok(())
+    }
+
+    // ---- calls ----------------------------------------------------------
+
+    fn user_call_expr(
+        &mut self,
+        func: &str,
+        args: &[Operand],
+        dsts: &[Option<VarId>],
+        span: Span,
+    ) -> Result<String, CodegenError> {
+        let mut parts = Vec::new();
+        for a in args {
+            let r = self.op_repr(*a)?;
+            match r {
+                Repr::RealScalar => parts.push(self.scalar(*a, false, span)?),
+                Repr::CxScalar => parts.push(self.scalar(*a, true, span)?),
+                Repr::RealArr | Repr::CxArr => {
+                    let v = a.as_var().expect("array operand");
+                    parts.push(format!("&{}", c_name(self.f, v)));
+                }
+            }
+        }
+        for d in dsts {
+            match d {
+                Some(v) => parts.push(format!("&{}", c_name(self.f, *v))),
+                None => {
+                    return Err(CodegenError::new(
+                        "discarded outputs of user calls are not supported",
+                        span,
+                    ))
+                }
+            }
+        }
+        Ok(format!("mt_{func}({});", parts.join(", ")))
+    }
+
+    fn emit_call_multi(
+        &mut self,
+        dsts: &[Option<VarId>],
+        func: &str,
+        args: &[Operand],
+        user: bool,
+        span: Span,
+    ) -> Result<(), CodegenError> {
+        if user {
+            // Discarded outputs get scratch registers.
+            let call = self.user_call_expr(func, args, dsts, span)?;
+            self.line(&call);
+            return Ok(());
+        }
+        match func {
+            "size" => {
+                let av = args[0]
+                    .as_var()
+                    .ok_or_else(|| CodegenError::new("size of constant", span))?;
+                let an = c_name(self.f, av);
+                let scalar = self.repr(av)?.is_scalar();
+                if let Some(Some(d)) = dsts.first() {
+                    let n = c_name(self.f, *d);
+                    if scalar {
+                        self.line(&format!("{n} = 1.0;"));
+                    } else {
+                        self.line(&format!("{n} = (double){an}.rows;"));
+                    }
+                }
+                if let Some(Some(d)) = dsts.get(1) {
+                    let n = c_name(self.f, *d);
+                    if scalar {
+                        self.line(&format!("{n} = 1.0;"));
+                    } else {
+                        self.line(&format!("{n} = (double){an}.cols;"));
+                    }
+                }
+                Ok(())
+            }
+            "min" | "max" => {
+                let av = args[0]
+                    .as_var()
+                    .ok_or_else(|| CodegenError::new("min/max of constant", span))?;
+                let an = c_name(self.f, av);
+                let cmp = if func == "min" { "<" } else { ">" };
+                let i = self.fresh("i");
+                let best = self.fresh("best");
+                let bi = self.fresh("bi");
+                self.line(&format!(
+                    "{{ double {best} = {an}.data[0]; int {bi} = 0; int {i}; for ({i} = 1; {i} < {an}.rows * {an}.cols; ++{i}) if ({an}.data[{i}] {cmp} {best}) {{ {best} = {an}.data[{i}]; {bi} = {i}; }}"
+                ));
+                if let Some(Some(d)) = dsts.first() {
+                    self.line(&format!("  {} = {best};", c_name(self.f, *d)));
+                }
+                if let Some(Some(d)) = dsts.get(1) {
+                    self.line(&format!("  {} = (double)({bi} + 1);", c_name(self.f, *d)));
+                }
+                self.line("}");
+                Ok(())
+            }
+            _ => Err(CodegenError::new(
+                format!("multi-output builtin `{func}` unsupported"),
+                span,
+            )),
+        }
+    }
+
+    fn emit_effect(
+        &mut self,
+        name: &str,
+        args: &[Operand],
+        span: Span,
+    ) -> Result<(), CodegenError> {
+        match name {
+            "rng" => Ok(()), // deterministic runtime has no RNG state
+            "disp" => {
+                match args.first() {
+                    Some(Operand::Var(v)) if self.strings.contains_key(v) => {
+                        let text = self.strings[v].clone();
+                        self.line(&format!("printf(\"%s\\n\", {});", c_string(&text)));
+                    }
+                    Some(op) => {
+                        let r = self.op_repr(*op)?;
+                        if r.is_scalar() {
+                            if r.is_cx() {
+                                let e = self.scalar(*op, true, span)?;
+                                self.line(&format!(
+                                    "printf(\"%g + %gi\\n\", ({e}).re, ({e}).im);"
+                                ));
+                            } else {
+                                let e = self.scalar(*op, false, span)?;
+                                self.line(&format!("printf(\"%g\\n\", {e});"));
+                            }
+                        } else {
+                            let v = op.as_var().expect("array operand");
+                            let vn = c_name(self.f, v);
+                            let i = self.fresh("i");
+                            if r.is_cx() {
+                                self.line(&format!(
+                                    "{{ int {i}; for ({i} = 0; {i} < {vn}.rows * {vn}.cols; ++{i}) printf(\"%g+%gi \", {vn}.data[{i}].re, {vn}.data[{i}].im); printf(\"\\n\"); }}"
+                                ));
+                            } else {
+                                self.line(&format!(
+                                    "{{ int {i}; for ({i} = 0; {i} < {vn}.rows * {vn}.cols; ++{i}) printf(\"%g \", {vn}.data[{i}]); printf(\"\\n\"); }}"
+                                ));
+                            }
+                        }
+                    }
+                    None => self.line("printf(\"\\n\");"),
+                }
+                Ok(())
+            }
+            "fprintf" | "error" => {
+                let Some(Operand::Var(fmt_var)) = args.first() else {
+                    return Err(CodegenError::new(
+                        format!("{name} needs a literal format string"),
+                        span,
+                    ));
+                };
+                let Some(fmt) = self.strings.get(fmt_var).cloned() else {
+                    return Err(CodegenError::new(
+                        format!("{name} needs a literal format string"),
+                        span,
+                    ));
+                };
+                // MATLAB %d prints integral doubles; C needs %.0f for a
+                // double argument. MATLAB also keeps \n/\t escapes in the
+                // string until fprintf interprets them.
+                let c_fmt = fmt
+                    .replace("%d", "%.0f")
+                    .replace("%i", "%.0f")
+                    .replace("\\n", "\n")
+                    .replace("\\t", "\t");
+                let mut call_args = vec![c_string(&c_fmt)];
+                for a in &args[1..] {
+                    let r = self.op_repr(*a)?;
+                    if !r.is_scalar() {
+                        return Err(CodegenError::new(
+                            "fprintf with array arguments is not supported in compiled code",
+                            span,
+                        ));
+                    }
+                    call_args.push(self.scalar(*a, false, span)?);
+                }
+                if name == "fprintf" {
+                    self.line(&format!("printf({});", call_args.join(", ")));
+                } else {
+                    self.line(&format!(
+                        "fprintf(stderr, {});",
+                        call_args.join(", ")
+                    ));
+                    self.line("exit(2);");
+                }
+                Ok(())
+            }
+            other => Err(CodegenError::new(
+                format!("effect builtin `{other}` unsupported"),
+                span,
+            )),
+        }
+    }
+
+    // ---- vector operations ------------------------------------------------
+
+    /// Pointer+stride for a [`VecRef`], possibly emitting a broadcast temp.
+    fn vecref_ptr(
+        &mut self,
+        r: &VecRef,
+        cx: bool,
+        span: Span,
+    ) -> Result<(String, String), CodegenError> {
+        match r {
+            VecRef::Slice { array, start, step } => {
+                let an = c_name(self.f, *array);
+                let s = self.scalar(*start, false, span)?;
+                let st = self.scalar(*step, false, span)?;
+                Ok((
+                    format!("&{an}.data[(int)({s}) - 1]"),
+                    format!("(int)({st})"),
+                ))
+            }
+            VecRef::Splat(op) => {
+                let t = self.fresh("sp");
+                if cx {
+                    let e = self.scalar(*op, true, span)?;
+                    self.line(&format!("matic_cx {t} = {e};"));
+                } else {
+                    let e = self.scalar(*op, false, span)?;
+                    self.line(&format!("double {t} = {e};"));
+                }
+                Ok((format!("&{t}"), "0".to_string()))
+            }
+        }
+    }
+
+    /// Whether every array touched by the op matches its complex mode
+    /// (mixed real/complex lanes fall back to the scalar loop).
+    fn vecop_reprs_match(&self, vop: &VectorOp) -> Result<bool, CodegenError> {
+        let check = |r: &VecRef| -> Result<bool, CodegenError> {
+            match r {
+                VecRef::Slice { array, .. } => Ok(self.repr(*array)?.is_cx() == vop.complex),
+                VecRef::Splat(op) => {
+                    // Splats convert freely real→complex.
+                    Ok(!(self.op_repr(*op)?.is_cx() && !vop.complex))
+                }
+            }
+        };
+        Ok(check(&vop.dst)? && check(&vop.a)? && vop.b.as_ref().map_or(Ok(true), check)?)
+    }
+
+    fn emit_vector_op(&mut self, vop: &VectorOp) -> Result<(), CodegenError> {
+        use matic_isa::OpClass;
+        let span = vop.span;
+        // Select the op class for the support check and the intrinsic stem.
+        let (class, stem): (OpClass, Option<&str>) = match (&vop.kind, vop.complex) {
+            (VecKind::Map(BinOp::Add), false) => (OpClass::VectorAlu, Some("vadd")),
+            (VecKind::Map(BinOp::Sub), false) => (OpClass::VectorAlu, Some("vsub")),
+            (VecKind::Map(BinOp::ElemMul | BinOp::MatMul), false) => {
+                (OpClass::VectorMul, Some("vmul"))
+            }
+            (VecKind::Map(BinOp::ElemDiv | BinOp::MatDiv), false) => {
+                (OpClass::VectorDiv, Some("vdiv"))
+            }
+            (VecKind::Map(BinOp::Add), true) => (OpClass::VComplexAdd, Some("vcadd")),
+            (VecKind::Map(BinOp::Sub), true) => (OpClass::VComplexAdd, Some("vcsub")),
+            (VecKind::Map(BinOp::ElemMul | BinOp::MatMul), true) => {
+                (OpClass::VComplexMul, Some("vcmul"))
+            }
+            (VecKind::Map(BinOp::ElemDiv | BinOp::MatDiv), true) => {
+                (OpClass::VComplexMul, Some("vcdiv"))
+            }
+            (VecKind::MapUnary(UnOp::Neg), false) => (OpClass::VectorAlu, Some("vneg")),
+            (VecKind::MapUnary(UnOp::Neg), true) => (OpClass::VComplexAdd, Some("vcneg")),
+            (VecKind::MapBuiltin(n), false) if n == "abs" => (OpClass::VectorAlu, Some("vabs")),
+            (VecKind::MapBuiltin(n), false) if n == "sqrt" => {
+                (OpClass::VectorDiv, Some("vsqrt"))
+            }
+            (VecKind::MapBuiltin(n), true) if n == "conj" => {
+                (OpClass::ComplexConj, Some("vcconj"))
+            }
+            (VecKind::Mac, false) => (OpClass::VectorMac, Some("vmac")),
+            (VecKind::Mac, true) => (OpClass::VComplexMac, Some("vcmac")),
+            (VecKind::Reduce(ReduceKind::Sum), false) => {
+                (OpClass::VectorRedAdd, Some("vredadd"))
+            }
+            (VecKind::Reduce(ReduceKind::Prod), false) => {
+                (OpClass::VectorRedAdd, Some("vredmul"))
+            }
+            (VecKind::Reduce(ReduceKind::Sum), true) => {
+                (OpClass::VectorRedAdd, Some("vcredadd"))
+            }
+            (VecKind::Copy, false) => (OpClass::VectorLoad, Some("vcopy")),
+            (VecKind::Copy, true) => (OpClass::VectorLoad, Some("vccopy")),
+            _ => (OpClass::VectorAlu, None),
+        };
+
+        let intrinsic_ok = self.options.use_intrinsics
+            && stem.is_some()
+            && self.spec.supports(class)
+            && self.vecop_reprs_match(vop)?;
+
+        if intrinsic_ok {
+            let stem = stem.expect("checked");
+            let fname = format!("{}_{stem}", self.spec.intrinsic_prefix);
+            let n = format!("(int)({})", self.scalar(vop.len, false, span)?);
+            self.line("{");
+            self.indent += 1;
+            match &vop.kind {
+                VecKind::Mac | VecKind::Reduce(_) => {
+                    let VecRef::Splat(acc_op) = &vop.dst else {
+                        return Err(CodegenError::new(
+                            "reduction destination must be a scalar register",
+                            span,
+                        ));
+                    };
+                    let acc_var = acc_op.as_var().ok_or_else(|| {
+                        CodegenError::new("reduction into constant", span)
+                    })?;
+                    let acc = c_name(self.f, acc_var);
+                    let (pa, sa) = self.vecref_ptr(&vop.a, vop.complex, span)?;
+                    if matches!(vop.kind, VecKind::Mac) {
+                        let b = vop.b.as_ref().ok_or_else(|| {
+                            CodegenError::new("MAC without second operand", span)
+                        })?;
+                        let (pb, sb) = self.vecref_ptr(b, vop.complex, span)?;
+                        self.line(&format!("{fname}(&{acc}, {pa}, {sa}, {pb}, {sb}, {n});"));
+                    } else {
+                        self.line(&format!("{fname}(&{acc}, {pa}, {sa}, {n});"));
+                    }
+                }
+                _ => {
+                    let (pd, sd) = self.vecref_ptr(&vop.dst, vop.complex, span)?;
+                    let (pa, sa) = self.vecref_ptr(&vop.a, vop.complex, span)?;
+                    if let Some(b) = &vop.b {
+                        let (pb, sb) = self.vecref_ptr(b, vop.complex, span)?;
+                        self.line(&format!(
+                            "{fname}({pd}, {sd}, {pa}, {sa}, {pb}, {sb}, {n});"
+                        ));
+                    } else {
+                        self.line(&format!("{fname}({pd}, {sd}, {pa}, {sa}, {n});"));
+                    }
+                }
+            }
+            self.indent -= 1;
+            self.line("}");
+            return Ok(());
+        }
+
+        // Scalar-expansion fallback: semantically identical loop.
+        self.emit_vector_fallback(vop)
+    }
+
+    /// Lane element expression inside the fallback loop.
+    fn lane_elem(
+        &mut self,
+        r: &VecRef,
+        i: &str,
+        cx: bool,
+        span: Span,
+    ) -> Result<String, CodegenError> {
+        match r {
+            VecRef::Slice { array, start, step } => {
+                let s = self.scalar(*start, false, span)?;
+                let st = self.scalar(*step, false, span)?;
+                let idx = format!("((int)({s}) - 1 + {i} * (int)({st}))");
+                self.checked_elem(*array, &idx, cx, "vecop")
+            }
+            VecRef::Splat(op) => self.scalar(*op, cx, span),
+        }
+    }
+
+    fn emit_vector_fallback(&mut self, vop: &VectorOp) -> Result<(), CodegenError> {
+        let span = vop.span;
+        let _cx = vop.complex;
+        let n = self.fresh("n");
+        let i = self.fresh("i");
+        let len_e = self.scalar(vop.len, false, span)?;
+        self.line("{");
+        self.indent += 1;
+        self.line(&format!("int {n} = (int)({len_e});"));
+        self.line(&format!("int {i};"));
+        match &vop.kind {
+            VecKind::Mac | VecKind::Reduce(_) => {
+                let VecRef::Splat(acc_op) = &vop.dst else {
+                    return Err(CodegenError::new(
+                        "reduction destination must be a scalar register",
+                        span,
+                    ));
+                };
+                let acc_var = acc_op
+                    .as_var()
+                    .ok_or_else(|| CodegenError::new("reduction into constant", span))?;
+                let acc = c_name(self.f, acc_var);
+                let acc_cx = self.repr(acc_var)?.is_cx();
+                let ea = self.lane_elem(&vop.a, &i, acc_cx, span)?;
+                let update = match &vop.kind {
+                    VecKind::Mac => {
+                        let b = vop.b.as_ref().ok_or_else(|| {
+                            CodegenError::new("MAC without second operand", span)
+                        })?;
+                        let eb = self.lane_elem(b, &i, acc_cx, span)?;
+                        if acc_cx {
+                            format!("{acc} = cx_add({acc}, cx_mul({ea}, {eb}));")
+                        } else {
+                            format!("{acc} += {ea} * {eb};")
+                        }
+                    }
+                    VecKind::Reduce(ReduceKind::Sum) => {
+                        if acc_cx {
+                            format!("{acc} = cx_add({acc}, {ea});")
+                        } else {
+                            format!("{acc} += {ea};")
+                        }
+                    }
+                    VecKind::Reduce(ReduceKind::Prod) => {
+                        if acc_cx {
+                            format!("{acc} = cx_mul({acc}, {ea});")
+                        } else {
+                            format!("{acc} *= {ea};")
+                        }
+                    }
+                    VecKind::Reduce(ReduceKind::Min) => {
+                        format!("if ({ea} < {acc}) {acc} = {ea};")
+                    }
+                    VecKind::Reduce(ReduceKind::Max) => {
+                        format!("if ({ea} > {acc}) {acc} = {ea};")
+                    }
+                    _ => unreachable!(),
+                };
+                self.line(&format!("for ({i} = 0; {i} < {n}; ++{i}) {update}"));
+            }
+            kind => {
+                let VecRef::Slice {
+                    array: darr,
+                    start: dstart,
+                    step: dstep,
+                } = &vop.dst
+                else {
+                    return Err(CodegenError::new("map destination must be a slice", span));
+                };
+                let dn = c_name(self.f, *darr);
+                let d_cx = self.repr(*darr)?.is_cx();
+                let ds = self.scalar(*dstart, false, span)?;
+                let dst_e = self.scalar(*dstep, false, span)?;
+                let didx = format!("((int)({ds}) - 1 + {i} * (int)({dst_e}))");
+                let value = match kind {
+                    VecKind::Map(op) => {
+                        let ea = self.lane_elem(&vop.a, &i, d_cx, span)?;
+                        let b = vop.b.as_ref().ok_or_else(|| {
+                            CodegenError::new("binary map without second operand", span)
+                        })?;
+                        let eb = self.lane_elem(b, &i, d_cx, span)?;
+                        if d_cx {
+                            match op {
+                                BinOp::Add => format!("cx_add({ea}, {eb})"),
+                                BinOp::Sub => format!("cx_sub({ea}, {eb})"),
+                                BinOp::ElemMul | BinOp::MatMul => format!("cx_mul({ea}, {eb})"),
+                                BinOp::ElemDiv | BinOp::MatDiv => format!("cx_div({ea}, {eb})"),
+                                other => {
+                                    return Err(CodegenError::new(
+                                        format!("complex vector map `{other}`"),
+                                        span,
+                                    ))
+                                }
+                            }
+                        } else {
+                            match op {
+                                BinOp::Add => format!("({ea} + {eb})"),
+                                BinOp::Sub => format!("({ea} - {eb})"),
+                                BinOp::ElemMul | BinOp::MatMul => format!("({ea} * {eb})"),
+                                BinOp::ElemDiv | BinOp::MatDiv => format!("({ea} / {eb})"),
+                                other => {
+                                    return Err(CodegenError::new(
+                                        format!("vector map `{other}`"),
+                                        span,
+                                    ))
+                                }
+                            }
+                        }
+                    }
+                    VecKind::MapUnary(UnOp::Neg) => {
+                        let ea = self.lane_elem(&vop.a, &i, d_cx, span)?;
+                        if d_cx {
+                            format!("cx_neg({ea})")
+                        } else {
+                            format!("-({ea})")
+                        }
+                    }
+                    VecKind::MapUnary(_) => {
+                        let ea = self.lane_elem(&vop.a, &i, d_cx, span)?;
+                        ea
+                    }
+                    VecKind::MapBuiltin(name) => {
+                        let a_cx = match &vop.a {
+                            VecRef::Slice { array, .. } => self.repr(*array)?.is_cx(),
+                            VecRef::Splat(op) => self.op_repr(*op)?.is_cx(),
+                        };
+                        let ea = self.lane_elem(&vop.a, &i, a_cx, span)?;
+                        match (name.as_str(), a_cx, d_cx) {
+                            ("abs", true, false) => format!("cx_abs({ea})"),
+                            ("abs", false, false) => format!("fabs({ea})"),
+                            ("sqrt", false, false) => format!("sqrt({ea})"),
+                            ("sqrt", true, true) => format!("cx_sqrt({ea})"),
+                            ("conj", true, true) => format!("cx_conj({ea})"),
+                            ("conj", false, false) => ea,
+                            ("real", true, false) => format!("({ea}).re"),
+                            ("imag", true, false) => format!("({ea}).im"),
+                            ("floor", false, false) => format!("floor({ea})"),
+                            ("ceil", false, false) => format!("ceil({ea})"),
+                            ("round", false, false) => format!("matic_round({ea})"),
+                            _ => {
+                                return Err(CodegenError::new(
+                                    format!("vector lane builtin `{name}`"),
+                                    span,
+                                ))
+                            }
+                        }
+                    }
+                    VecKind::Copy => self.lane_elem(&vop.a, &i, d_cx, span)?,
+                    _ => unreachable!(),
+                };
+                self.line(&format!(
+                    "for ({i} = 0; {i} < {n}; ++{i}) {dn}.data[MATIC_IDX({didx}, {dn}.rows * {dn}.cols, \"vecop\")] = {value};"
+                ));
+            }
+        }
+        self.indent -= 1;
+        self.line("}");
+        Ok(())
+    }
+}
+
+/// Escapes a Rust string as a C string literal.
+fn c_string(s: &str) -> String {
+    let mut out = String::from("\"");
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\x{:02x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}

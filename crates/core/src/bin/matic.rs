@@ -1,0 +1,308 @@
+//! `matic` — command-line driver for the MATLAB-to-C ASIP compiler.
+//!
+//! ```text
+//! matic compile <file.m> --entry <fn> --sig <spec> [--target <json>]
+//!       [--baseline] [-o <dir>]        compile to C (+ runtime headers)
+//! matic mir     <file.m> --entry <fn> --sig <spec>   dump optimized MIR
+//! matic cycles  <file.m> --entry <fn> --sig <spec>   baseline-vs-optimized
+//!       [--n <size>]                                  cycle comparison
+//! matic targets [--dump <name>]                       list/export targets
+//! ```
+//!
+//! `--sig` describes the entry signature, comma-separated:
+//! `s` scalar, `cs` complex scalar, `v<N>` real vector, `cv<N>` complex
+//! vector, `m<R>x<C>` matrix — e.g. `--sig v1024,v64` for `fir(x, h)`.
+
+use matic::{arg, CValue, Compiler, IsaSpec, OptLevel, SimVal, Ty};
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("matic: {msg}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        return Err(USAGE.to_string());
+    };
+    match cmd.as_str() {
+        "compile" => cmd_compile(&args[1..]),
+        "mir" => cmd_mir(&args[1..]),
+        "cycles" => cmd_cycles(&args[1..]),
+        "targets" => cmd_targets(&args[1..]),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    }
+}
+
+const USAGE: &str = "usage:
+  matic compile <file.m> --entry <fn> --sig <spec> [--target <json>] [--baseline] [-o <dir>]
+  matic mir     <file.m> --entry <fn> --sig <spec> [--target <json>]
+  matic cycles  <file.m> --entry <fn> --sig <spec> [--target <json>] [--seed <k>]
+  matic targets [--dump <name>]
+sig spec: s | cs | v<N> | cv<N> | m<R>x<C>, comma-separated (e.g. v1024,v64)";
+
+/// Parsed common options.
+struct Opts {
+    file: String,
+    entry: String,
+    sig: Vec<Ty>,
+    target: IsaSpec,
+    baseline: bool,
+    out_dir: String,
+    seed: u64,
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut file = None;
+    let mut entry = None;
+    let mut sig = None;
+    let mut target = IsaSpec::dsp16();
+    let mut baseline = false;
+    let mut out_dir = "matic_out".to_string();
+    let mut seed = 1u64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--entry" => entry = Some(next(&mut it, "--entry")?),
+            "--sig" => sig = Some(parse_sig(&next(&mut it, "--sig")?)?),
+            "--target" => {
+                let p = next(&mut it, "--target")?;
+                let text = std::fs::read_to_string(&p)
+                    .map_err(|e| format!("cannot read target `{p}`: {e}"))?;
+                target = IsaSpec::from_json(&text)?;
+                target.validate()?;
+            }
+            "--baseline" => baseline = true,
+            "-o" | "--out" => out_dir = next(&mut it, "-o")?,
+            "--seed" => {
+                seed = next(&mut it, "--seed")?
+                    .parse()
+                    .map_err(|_| "--seed expects an integer".to_string())?
+            }
+            other if !other.starts_with('-') && file.is_none() => {
+                file = Some(other.to_string())
+            }
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    Ok(Opts {
+        file: file.ok_or("missing input file")?,
+        entry: entry.ok_or("missing --entry")?,
+        sig: sig.ok_or("missing --sig")?,
+        target,
+        baseline,
+        out_dir,
+        seed,
+    })
+}
+
+fn next(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<String, String> {
+    it.next()
+        .cloned()
+        .ok_or_else(|| format!("{flag} expects a value"))
+}
+
+fn parse_sig(spec: &str) -> Result<Vec<Ty>, String> {
+    spec.split(',')
+        .map(|tok| {
+            let t = tok.trim();
+            if t == "s" {
+                return Ok(arg::scalar());
+            }
+            if t == "cs" {
+                return Ok(arg::cx_scalar());
+            }
+            if let Some(n) = t.strip_prefix("cv") {
+                return n
+                    .parse()
+                    .map(arg::cx_vector)
+                    .map_err(|_| format!("bad sig token `{t}`"));
+            }
+            if let Some(n) = t.strip_prefix('v') {
+                return n
+                    .parse()
+                    .map(arg::vector)
+                    .map_err(|_| format!("bad sig token `{t}`"));
+            }
+            if let Some(dims) = t.strip_prefix('m') {
+                let (r, c) = dims
+                    .split_once('x')
+                    .ok_or_else(|| format!("bad sig token `{t}`"))?;
+                let r: usize = r.parse().map_err(|_| format!("bad sig token `{t}`"))?;
+                let c: usize = c.parse().map_err(|_| format!("bad sig token `{t}`"))?;
+                return Ok(arg::matrix(r, c));
+            }
+            Err(format!("bad sig token `{t}`"))
+        })
+        .collect()
+}
+
+fn compile_with(opts: &Opts) -> Result<matic::Compiled, String> {
+    let src = std::fs::read_to_string(&opts.file)
+        .map_err(|e| format!("cannot read `{}`: {e}", opts.file))?;
+    let level = if opts.baseline {
+        OptLevel::baseline()
+    } else {
+        OptLevel::full()
+    };
+    Compiler::new()
+        .target(opts.target.clone())
+        .opt_level(level)
+        .compile(&src, &opts.entry, &opts.sig)
+        .map_err(|e| e.to_string())
+}
+
+fn cmd_compile(args: &[String]) -> Result<(), String> {
+    let opts = parse_opts(args)?;
+    let compiled = compile_with(&opts)?;
+    let dir = Path::new(&opts.out_dir);
+    let path = matic_codegen::write_module(dir, &compiled.c, None)
+        .map_err(|e| format!("cannot write output: {e}"))?;
+    println!("target      : {}", compiled.spec);
+    println!("vectorizer  : {:?}", compiled.report);
+    println!("wrote       : {}", path.display());
+    println!("              {}", dir.join("matic_rt.h").display());
+    println!("              {}", dir.join("matic_intrinsics.h").display());
+    Ok(())
+}
+
+fn cmd_mir(args: &[String]) -> Result<(), String> {
+    let opts = parse_opts(args)?;
+    let compiled = compile_with(&opts)?;
+    print!("{}", compiled.mir_dump());
+    Ok(())
+}
+
+fn cmd_cycles(args: &[String]) -> Result<(), String> {
+    let opts = parse_opts(args)?;
+    let optimized = compile_with(&Opts {
+        baseline: false,
+        ..clone_opts(&opts)
+    })?;
+    let baseline = compile_with(&Opts {
+        baseline: true,
+        ..clone_opts(&opts)
+    })?;
+    // Deterministic stimulus derived from the signature.
+    let inputs: Vec<SimVal> = opts
+        .sig
+        .iter()
+        .enumerate()
+        .map(|(k, t)| synth_input(t, opts.seed.wrapping_add(k as u64)))
+        .collect();
+    let rb = baseline
+        .simulate(inputs.clone())
+        .map_err(|e| e.to_string())?;
+    let ro = optimized.simulate(inputs).map_err(|e| e.to_string())?;
+    println!("target    : {}", optimized.spec);
+    println!("baseline  : {:>10} cycles", rb.cycles.total);
+    println!("optimized : {:>10} cycles", ro.cycles.total);
+    println!(
+        "speedup   : {:.2}x",
+        rb.cycles.total as f64 / ro.cycles.total.max(1) as f64
+    );
+    println!("\ncycle breakdown (optimized):");
+    print!("{}", ro.cycles);
+    Ok(())
+}
+
+fn clone_opts(o: &Opts) -> Opts {
+    Opts {
+        file: o.file.clone(),
+        entry: o.entry.clone(),
+        sig: o.sig.clone(),
+        target: o.target.clone(),
+        baseline: o.baseline,
+        out_dir: o.out_dir.clone(),
+        seed: o.seed,
+    }
+}
+
+/// Synthesizes a deterministic input for one signature slot.
+fn synth_input(ty: &Ty, seed: u64) -> SimVal {
+    let n = ty.shape.numel().unwrap_or(64);
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).max(1);
+    let mut next = move || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        (state.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+    };
+    let complex = ty.class == matic::Class::Complex;
+    if ty.shape.is_scalar() {
+        return if complex {
+            matic_benchkit_free::cx_scalar(next(), next())
+        } else {
+            SimVal::scalar(next().abs() * 8.0 + 1.0)
+        };
+    }
+    if complex {
+        let data: Vec<(f64, f64)> = (0..n).map(|_| (next(), next())).collect();
+        SimVal::cx_row(&data)
+    } else {
+        let rows = ty.shape.rows.known().unwrap_or(1);
+        let cols = ty.shape.cols.known().unwrap_or(n);
+        let v: Vec<f64> = (0..rows * cols).map(|_| next()).collect();
+        if rows == 1 {
+            SimVal::row(&v)
+        } else {
+            // Column-major matrix input.
+            let _ = CValue {
+                rows,
+                cols,
+                re: v.clone(),
+                im: None,
+            };
+            SimVal::Arr(matic::Matrix::new(
+                rows,
+                cols,
+                v.into_iter().map(|x| matic::Cx::real(x)).collect(),
+            ))
+        }
+    }
+}
+
+/// Helpers that avoid a benchkit dependency for the one conversion used.
+mod matic_benchkit_free {
+    use matic::{Cx, SimVal};
+
+    pub fn cx_scalar(re: f64, im: f64) -> SimVal {
+        SimVal::Scalar(Cx::new(re, im))
+    }
+}
+
+fn cmd_targets(args: &[String]) -> Result<(), String> {
+    let builtin = [
+        IsaSpec::dsp16(),
+        IsaSpec::scalar_baseline(),
+        IsaSpec::with_width(4),
+        IsaSpec::with_width(16),
+    ];
+    if let Some(pos) = args.iter().position(|a| a == "--dump") {
+        let name = args
+            .get(pos + 1)
+            .ok_or("--dump expects a target name")?;
+        let spec = builtin
+            .iter()
+            .find(|s| &s.name == name)
+            .ok_or_else(|| format!("unknown builtin target `{name}`"))?;
+        println!("{}", spec.to_json());
+        return Ok(());
+    }
+    println!("builtin targets (export with `matic targets --dump <name>`):");
+    for s in &builtin {
+        println!("  {s}");
+    }
+    Ok(())
+}

@@ -1,0 +1,366 @@
+//! The compiler driver: parse → analyze → lower → optimize → vectorize →
+//! emit, as one configurable pipeline.
+
+use matic_codegen::{CBackend, CModule, CodegenOptions};
+use matic_frontend::diag::Diagnostic;
+use matic_frontend::Program;
+use matic_isa::IsaSpec;
+use matic_mir::MirProgram;
+use matic_sema::{Analysis, Ty};
+use matic_vectorize::VectorizeReport;
+use std::fmt;
+
+/// Any failure along the compilation pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompileError {
+    /// Lexing/parsing failed.
+    Parse(Diagnostic),
+    /// Semantic analysis failed.
+    Sema(Diagnostic),
+    /// Lowering rejected a construct.
+    Lower(Diagnostic),
+    /// The C backend rejected a construct.
+    Codegen(String),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Parse(d) => write!(f, "parse: {d}"),
+            CompileError::Sema(d) => write!(f, "sema: {d}"),
+            CompileError::Lower(d) => write!(f, "lower: {d}"),
+            CompileError::Codegen(m) => write!(f, "codegen: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Optimization configuration for one compilation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OptLevel {
+    /// Run the scalar optimization pipeline (const fold, copy prop, DCE).
+    pub scalar_opts: bool,
+    /// Inline small leaf functions (exposes cross-call idioms).
+    pub inline: bool,
+    /// Run idiom recognition / vectorization.
+    pub vectorize: bool,
+    /// Allow the backend to emit target intrinsics.
+    pub intrinsics: bool,
+}
+
+impl OptLevel {
+    /// Everything on — the paper's proposed compiler.
+    pub fn full() -> OptLevel {
+        OptLevel {
+            scalar_opts: true,
+            inline: true,
+            vectorize: true,
+            intrinsics: true,
+        }
+    }
+
+    /// MATLAB-Coder-like baseline: straightforward scalar C.
+    pub fn baseline() -> OptLevel {
+        OptLevel {
+            scalar_opts: true,
+            inline: false,
+            vectorize: false,
+            intrinsics: false,
+        }
+    }
+}
+
+/// A fluent front door to the compiler.
+///
+/// # Examples
+///
+/// ```
+/// use matic::{Compiler, arg};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let src = "function s = dotp(a, b)\ns = sum(a .* b);\nend";
+/// let compiled = Compiler::new()
+///     .target(matic::IsaSpec::dsp16())
+///     .compile(src, "dotp", &[arg::vector(64), arg::vector(64)])?;
+/// assert!(compiled.c.source.contains("__asip_vmac"));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Compiler {
+    spec: IsaSpec,
+    opt: OptLevel,
+}
+
+impl Default for Compiler {
+    fn default() -> Self {
+        Compiler::new()
+    }
+}
+
+impl Compiler {
+    /// A compiler for the paper's `dsp16` ASIP at full optimization.
+    pub fn new() -> Compiler {
+        Compiler {
+            spec: IsaSpec::dsp16(),
+            opt: OptLevel::full(),
+        }
+    }
+
+    /// Selects the target ISA description.
+    pub fn target(mut self, spec: IsaSpec) -> Compiler {
+        self.spec = spec;
+        self
+    }
+
+    /// Selects the optimization level.
+    pub fn opt_level(mut self, opt: OptLevel) -> Compiler {
+        self.opt = opt;
+        self
+    }
+
+    /// The configured target.
+    pub fn spec(&self) -> &IsaSpec {
+        &self.spec
+    }
+
+    /// Compiles `src`, treating `entry` called with `arg_types` as the
+    /// program entry point.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error from any stage.
+    pub fn compile(
+        &self,
+        src: &str,
+        entry: &str,
+        arg_types: &[Ty],
+    ) -> Result<Compiled, CompileError> {
+        let (program, diags) = matic_frontend::parse(src);
+        if let Some(d) = diags.first_error() {
+            return Err(CompileError::Parse(d.clone()));
+        }
+        self.compile_program(program, entry, arg_types)
+    }
+
+    /// Compiles an already-parsed program.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error from any stage.
+    pub fn compile_program(
+        &self,
+        program: Program,
+        entry: &str,
+        arg_types: &[Ty],
+    ) -> Result<Compiled, CompileError> {
+        let analysis = matic_sema::analyze(&program, entry, arg_types);
+        if let Some(d) = analysis.diags.first_error() {
+            return Err(CompileError::Sema(d.clone()));
+        }
+        let (mut mir, diags) = matic_mir::lower_program(&program, &analysis);
+        if let Some(d) = diags.first_error() {
+            return Err(CompileError::Lower(d.clone()));
+        }
+        if self.opt.scalar_opts {
+            matic_mir::optimize_program(&mut mir);
+        }
+        if self.opt.inline {
+            matic_mir::inline_program(&mut mir, matic_mir::DEFAULT_INLINE_LIMIT);
+            if self.opt.scalar_opts {
+                matic_mir::optimize_program(&mut mir);
+            }
+        }
+        let report = if self.opt.vectorize {
+            matic_vectorize::vectorize_program(&mut mir)
+        } else {
+            VectorizeReport::default()
+        };
+        let backend = CBackend::new(
+            self.spec.clone(),
+            CodegenOptions {
+                use_intrinsics: self.opt.intrinsics,
+            },
+        );
+        let c = backend
+            .generate(&mir)
+            .map_err(|e| CompileError::Codegen(e.to_string()))?;
+        Ok(Compiled {
+            entry: entry.to_string(),
+            ast: program,
+            analysis,
+            mir,
+            report,
+            c,
+            spec: self.spec.clone(),
+            opt: self.opt,
+        })
+    }
+}
+
+/// Everything a compilation produces, kept around so callers can inspect
+/// intermediate results (C-INTERMEDIATE).
+#[derive(Debug, Clone)]
+pub struct Compiled {
+    /// Entry function name.
+    pub entry: String,
+    /// The parsed source.
+    pub ast: Program,
+    /// Sema results (types per function).
+    pub analysis: Analysis,
+    /// The final MIR (post-optimization/vectorization).
+    pub mir: MirProgram,
+    /// What the vectorizer recognized.
+    pub report: VectorizeReport,
+    /// The generated C module.
+    pub c: CModule,
+    /// The ISA the module was generated for.
+    pub spec: IsaSpec,
+    /// The optimization level the module was compiled at.
+    pub opt: OptLevel,
+}
+
+impl Compiled {
+    /// Runs the compiled program on the cycle-level virtual ASIP with the
+    /// same target and intrinsic policy the C module was generated for.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures.
+    pub fn simulate(
+        &self,
+        inputs: Vec<matic_asip::SimVal>,
+    ) -> Result<matic_asip::SimOutcome, matic_asip::SimError> {
+        let mut machine = matic_asip::AsipMachine::new(self.spec.clone());
+        if !self.opt.intrinsics {
+            // A baseline compilation models a toolchain that is blind to
+            // the custom instructions; the machine must not charge them.
+            machine = machine.without_intrinsics();
+        }
+        machine.run(&self.mir, &self.entry, inputs)
+    }
+
+    /// The entry function's MIR.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the entry vanished from the MIR (compiler invariant).
+    pub fn entry_mir(&self) -> &matic_mir::MirFunction {
+        self.mir
+            .function(&self.entry)
+            .expect("entry function exists in MIR")
+    }
+
+    /// A human-readable MIR dump.
+    pub fn mir_dump(&self) -> String {
+        matic_mir::print_program(&self.mir)
+    }
+}
+
+/// Convenience constructors for entry-point argument types.
+pub mod arg {
+    use matic_sema::{Class, Dim, Shape, Ty};
+
+    /// A real scalar argument.
+    pub fn scalar() -> Ty {
+        Ty::double_scalar()
+    }
+
+    /// A real 1×n row vector argument.
+    pub fn vector(n: usize) -> Ty {
+        Ty::new(Class::Double, Shape::row(Dim::Known(n)))
+    }
+
+    /// A complex 1×n row vector argument.
+    pub fn cx_vector(n: usize) -> Ty {
+        Ty::new(Class::Complex, Shape::row(Dim::Known(n)))
+    }
+
+    /// A complex scalar argument.
+    pub fn cx_scalar() -> Ty {
+        Ty::new(Class::Complex, Shape::scalar())
+    }
+
+    /// A real r×c matrix argument.
+    pub fn matrix(r: usize, c: usize) -> Ty {
+        Ty::new(Class::Double, Shape::known(r, c))
+    }
+
+    /// A real vector of runtime-determined length.
+    pub fn vector_dyn() -> Ty {
+        Ty::new(Class::Double, Shape::row(Dim::Unknown))
+    }
+
+    /// A complex vector of runtime-determined length.
+    pub fn cx_vector_dyn() -> Ty {
+        Ty::new(Class::Complex, Shape::row(Dim::Unknown))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_pipeline_produces_intrinsics() {
+        let src = "function s = dotp(a, b)\ns = sum(a .* b);\nend";
+        let out = Compiler::new()
+            .compile(src, "dotp", &[arg::vector(64), arg::vector(64)])
+            .expect("compile ok");
+        assert!(out.c.source.contains("__asip_vmac"));
+        assert_eq!(out.report.fuse.macs_fused, 1);
+    }
+
+    #[test]
+    fn baseline_pipeline_is_scalar() {
+        let src = "function s = dotp(a, b)\ns = sum(a .* b);\nend";
+        let out = Compiler::new()
+            .opt_level(OptLevel::baseline())
+            .compile(src, "dotp", &[arg::vector(64), arg::vector(64)])
+            .expect("compile ok");
+        assert!(!out.c.source.contains("__asip_"));
+        assert_eq!(out.report.total_ops(), 0);
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        let err = Compiler::new().compile("x = ;", "f", &[]).unwrap_err();
+        assert!(matches!(err, CompileError::Parse(_)));
+    }
+
+    #[test]
+    fn sema_errors_are_reported() {
+        let err = Compiler::new()
+            .compile("function y = f()\ny = undefined_thing;\nend", "f", &[])
+            .unwrap_err();
+        assert!(matches!(err, CompileError::Sema(_)));
+    }
+
+    #[test]
+    fn mir_dump_is_accessible() {
+        let out = Compiler::new()
+            .compile(
+                "function y = f(x)\ny = 2 * x;\nend",
+                "f",
+                &[arg::scalar()],
+            )
+            .expect("compile ok");
+        assert!(out.mir_dump().contains("func @f"));
+    }
+
+    #[test]
+    fn retargeting_changes_output() {
+        let src = "function y = scale(a, k)\ny = k .* a;\nend";
+        let wide = Compiler::new()
+            .target(IsaSpec::dsp16())
+            .compile(src, "scale", &[arg::vector(32), arg::scalar()])
+            .expect("compile ok");
+        let scalar = Compiler::new()
+            .target(IsaSpec::scalar_baseline())
+            .compile(src, "scale", &[arg::vector(32), arg::scalar()])
+            .expect("compile ok");
+        assert!(wide.c.source.contains("__asip_vmul"));
+        assert!(!scalar.c.source.contains("__asip_vmul"));
+    }
+}

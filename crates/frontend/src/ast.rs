@@ -1,0 +1,569 @@
+//! Abstract syntax tree for the MATLAB subset.
+//!
+//! The tree is deliberately close to the concrete syntax: `x(i)` stays an
+//! ambiguous [`Expr::Call`] node (function call vs. array index) because the
+//! distinction needs symbol information and is resolved in `matic-sema`.
+
+use crate::span::Span;
+use std::fmt;
+
+/// A parsed source file: zero or more function definitions plus an optional
+/// leading script body (statements before any `function` keyword).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// Statements that appear before the first function definition
+    /// (MATLAB script semantics). Empty for pure function files.
+    pub script: Vec<Stmt>,
+    /// All function definitions in source order. The first one is the
+    /// file's primary function; the rest are local functions.
+    pub functions: Vec<Function>,
+}
+
+impl Program {
+    /// Looks up a function definition by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    /// Whether the program has a script part.
+    pub fn is_script(&self) -> bool {
+        !self.script.is_empty()
+    }
+}
+
+/// One `function [outs] = name(ins) ... end` definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Function name.
+    pub name: String,
+    /// Formal input parameter names, in order.
+    pub params: Vec<String>,
+    /// Output variable names, in order.
+    pub outputs: Vec<String>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Span of the `function` header line.
+    pub span: Span,
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `lhs = rhs` — single-target assignment. The target may be a plain
+    /// name or an indexed location (`x(i) = v`).
+    Assign {
+        /// Assignment target.
+        target: LValue,
+        /// Value expression.
+        value: Expr,
+        /// Whether the statement was terminated with `;` (output suppressed).
+        suppressed: bool,
+        /// Statement span.
+        span: Span,
+    },
+    /// `[a, b] = f(...)` — multi-output assignment.
+    MultiAssign {
+        /// Assignment targets, one per requested output. `None` entries are
+        /// `~` placeholders that discard the output.
+        targets: Vec<Option<LValue>>,
+        /// The call expression producing the outputs.
+        call: Expr,
+        /// Whether the statement was terminated with `;`.
+        suppressed: bool,
+        /// Statement span.
+        span: Span,
+    },
+    /// A bare expression statement, e.g. `disp(x)` or `x + 1`.
+    ExprStmt {
+        /// The expression evaluated for effect/display.
+        expr: Expr,
+        /// Whether the statement was terminated with `;`.
+        suppressed: bool,
+        /// Statement span.
+        span: Span,
+    },
+    /// `if c ... elseif c2 ... else ... end`
+    If {
+        /// `(condition, body)` arms: the `if` arm followed by `elseif` arms.
+        arms: Vec<(Expr, Vec<Stmt>)>,
+        /// The `else` body, if present.
+        else_body: Option<Vec<Stmt>>,
+        /// Statement span.
+        span: Span,
+    },
+    /// `for var = range ... end`
+    For {
+        /// Loop variable name.
+        var: String,
+        /// The iterated expression (typically a colon range).
+        iter: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+        /// Statement span.
+        span: Span,
+    },
+    /// `while c ... end`
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+        /// Statement span.
+        span: Span,
+    },
+    /// `break`
+    Break(Span),
+    /// `continue`
+    Continue(Span),
+    /// `return`
+    Return(Span),
+    /// `global a b` — declares globals (accepted, used by scripts).
+    Global {
+        /// Declared names.
+        names: Vec<String>,
+        /// Statement span.
+        span: Span,
+    },
+}
+
+impl Stmt {
+    /// The source span of the statement.
+    pub fn span(&self) -> Span {
+        match self {
+            Stmt::Assign { span, .. }
+            | Stmt::MultiAssign { span, .. }
+            | Stmt::ExprStmt { span, .. }
+            | Stmt::If { span, .. }
+            | Stmt::For { span, .. }
+            | Stmt::While { span, .. }
+            | Stmt::Global { span, .. } => *span,
+            Stmt::Break(s) | Stmt::Continue(s) | Stmt::Return(s) => *s,
+        }
+    }
+}
+
+/// An assignable location.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LValue {
+    /// Plain variable: `x = ...`.
+    Name {
+        /// Variable name.
+        name: String,
+        /// Span of the name.
+        span: Span,
+    },
+    /// Indexed location: `x(i) = ...`, `x(i, j) = ...`, `x(:) = ...`.
+    Index {
+        /// Array variable name.
+        name: String,
+        /// Index argument expressions.
+        indices: Vec<Expr>,
+        /// Span of the whole target.
+        span: Span,
+    },
+}
+
+impl LValue {
+    /// The variable name being (partially) assigned.
+    pub fn name(&self) -> &str {
+        match self {
+            LValue::Name { name, .. } | LValue::Index { name, .. } => name,
+        }
+    }
+
+    /// Span of the target.
+    pub fn span(&self) -> Span {
+        match self {
+            LValue::Name { span, .. } | LValue::Index { span, .. } => *span,
+        }
+    }
+}
+
+/// Binary operators, in MATLAB spelling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*` matrix multiply
+    MatMul,
+    /// `.*` element-wise multiply
+    ElemMul,
+    /// `/` matrix right divide
+    MatDiv,
+    /// `./` element-wise divide
+    ElemDiv,
+    /// `\` matrix left divide
+    MatLeftDiv,
+    /// `.\` element-wise left divide
+    ElemLeftDiv,
+    /// `^` matrix power
+    MatPow,
+    /// `.^` element-wise power
+    ElemPow,
+    /// `==`
+    Eq,
+    /// `~=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&` element-wise and
+    And,
+    /// `|` element-wise or
+    Or,
+    /// `&&` short-circuit and
+    AndAnd,
+    /// `||` short-circuit or
+    OrOr,
+}
+
+impl BinOp {
+    /// Whether the operator works element-wise on same-shaped operands
+    /// (with scalar broadcast), as opposed to linear-algebra semantics.
+    pub fn is_elementwise(self) -> bool {
+        !matches!(
+            self,
+            BinOp::MatMul | BinOp::MatDiv | BinOp::MatLeftDiv | BinOp::MatPow
+        )
+    }
+
+    /// Whether the result is logical (0/1) regardless of operand class.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
+    }
+
+    /// MATLAB surface syntax for the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::MatMul => "*",
+            BinOp::ElemMul => ".*",
+            BinOp::MatDiv => "/",
+            BinOp::ElemDiv => "./",
+            BinOp::MatLeftDiv => "\\",
+            BinOp::ElemLeftDiv => ".\\",
+            BinOp::MatPow => "^",
+            BinOp::ElemPow => ".^",
+            BinOp::Eq => "==",
+            BinOp::Ne => "~=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "&",
+            BinOp::Or => "|",
+            BinOp::AndAnd => "&&",
+            BinOp::OrOr => "||",
+        }
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// `-x`
+    Neg,
+    /// `+x`
+    Plus,
+    /// `~x`
+    Not,
+}
+
+impl UnOp {
+    /// MATLAB surface syntax for the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            UnOp::Neg => "-",
+            UnOp::Plus => "+",
+            UnOp::Not => "~",
+        }
+    }
+}
+
+impl fmt::Display for UnOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Real numeric literal.
+    Number {
+        /// Literal value.
+        value: f64,
+        /// Source span.
+        span: Span,
+    },
+    /// Imaginary numeric literal (`2i` is `Imaginary { value: 2.0 }`).
+    Imaginary {
+        /// Imaginary-part magnitude.
+        value: f64,
+        /// Source span.
+        span: Span,
+    },
+    /// Single-quoted character string.
+    Str {
+        /// String contents (unescaped).
+        value: String,
+        /// Source span.
+        span: Span,
+    },
+    /// Variable reference (or zero-argument function call; resolved in sema).
+    Ident {
+        /// Name.
+        name: String,
+        /// Source span.
+        span: Span,
+    },
+    /// `f(a, b)` — function call or array indexing, ambiguous until sema.
+    Call {
+        /// Callee/array name.
+        name: String,
+        /// Arguments / indices.
+        args: Vec<Expr>,
+        /// Source span.
+        span: Span,
+    },
+    /// `a op b`.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+        /// Source span.
+        span: Span,
+    },
+    /// `op a`.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        operand: Box<Expr>,
+        /// Source span.
+        span: Span,
+    },
+    /// `a'` (conjugate) or `a.'` (plain) transpose.
+    Transpose {
+        /// Operand.
+        operand: Box<Expr>,
+        /// Whether the transpose conjugates (`'` vs `.'`).
+        conjugate: bool,
+        /// Source span.
+        span: Span,
+    },
+    /// `start:stop` or `start:step:stop`.
+    Range {
+        /// Start expression.
+        start: Box<Expr>,
+        /// Step expression (`None` means 1).
+        step: Option<Box<Expr>>,
+        /// Stop expression.
+        stop: Box<Expr>,
+        /// Source span.
+        span: Span,
+    },
+    /// Bare `:` used as an index (whole dimension).
+    ColonAll {
+        /// Source span.
+        span: Span,
+    },
+    /// `end` used inside an index expression.
+    EndKeyword {
+        /// Source span.
+        span: Span,
+    },
+    /// Matrix literal `[r1c1 r1c2; r2c1 r2c2]` — rows of element lists.
+    Matrix {
+        /// Rows, each a list of horizontally concatenated expressions.
+        rows: Vec<Vec<Expr>>,
+        /// Source span.
+        span: Span,
+    },
+    /// Anonymous function `@(x) expr`.
+    AnonFn {
+        /// Parameter names.
+        params: Vec<String>,
+        /// Body expression.
+        body: Box<Expr>,
+        /// Source span.
+        span: Span,
+    },
+    /// Function handle `@name`.
+    FnHandle {
+        /// Referenced function name.
+        name: String,
+        /// Source span.
+        span: Span,
+    },
+}
+
+impl Expr {
+    /// The source span of the expression.
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::Number { span, .. }
+            | Expr::Imaginary { span, .. }
+            | Expr::Str { span, .. }
+            | Expr::Ident { span, .. }
+            | Expr::Call { span, .. }
+            | Expr::Binary { span, .. }
+            | Expr::Unary { span, .. }
+            | Expr::Transpose { span, .. }
+            | Expr::Range { span, .. }
+            | Expr::ColonAll { span }
+            | Expr::EndKeyword { span }
+            | Expr::Matrix { span, .. }
+            | Expr::AnonFn { span, .. }
+            | Expr::FnHandle { span, .. } => *span,
+        }
+    }
+
+    /// Convenience constructor for a literal number with a dummy span.
+    pub fn number(value: f64) -> Expr {
+        Expr::Number {
+            value,
+            span: Span::dummy(),
+        }
+    }
+
+    /// Convenience constructor for an identifier with a dummy span.
+    pub fn ident(name: impl Into<String>) -> Expr {
+        Expr::Ident {
+            name: name.into(),
+            span: Span::dummy(),
+        }
+    }
+
+    /// Whether the expression is a constant numeric literal (possibly
+    /// negated), returning its value.
+    pub fn as_const_number(&self) -> Option<f64> {
+        match self {
+            Expr::Number { value, .. } => Some(*value),
+            Expr::Unary {
+                op: UnOp::Neg,
+                operand,
+                ..
+            } => operand.as_const_number().map(|v| -v),
+            Expr::Unary {
+                op: UnOp::Plus,
+                operand,
+                ..
+            } => operand.as_const_number(),
+            _ => None,
+        }
+    }
+
+    /// Visits this expression and all sub-expressions, pre-order.
+    pub fn walk<'a>(&'a self, visit: &mut dyn FnMut(&'a Expr)) {
+        visit(self);
+        match self {
+            Expr::Call { args, .. } => {
+                for a in args {
+                    a.walk(visit);
+                }
+            }
+            Expr::Binary { lhs, rhs, .. } => {
+                lhs.walk(visit);
+                rhs.walk(visit);
+            }
+            Expr::Unary { operand, .. } | Expr::Transpose { operand, .. } => {
+                operand.walk(visit);
+            }
+            Expr::Range {
+                start, step, stop, ..
+            } => {
+                start.walk(visit);
+                if let Some(s) = step {
+                    s.walk(visit);
+                }
+                stop.walk(visit);
+            }
+            Expr::Matrix { rows, .. } => {
+                for row in rows {
+                    for e in row {
+                        e.walk(visit);
+                    }
+                }
+            }
+            Expr::AnonFn { body, .. } => body.walk(visit),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binop_classification() {
+        assert!(BinOp::ElemMul.is_elementwise());
+        assert!(!BinOp::MatMul.is_elementwise());
+        assert!(BinOp::Le.is_comparison());
+        assert!(!BinOp::Add.is_comparison());
+    }
+
+    #[test]
+    fn const_number_through_negation() {
+        let e = Expr::Unary {
+            op: UnOp::Neg,
+            operand: Box::new(Expr::number(4.0)),
+            span: Span::dummy(),
+        };
+        assert_eq!(e.as_const_number(), Some(-4.0));
+        assert_eq!(Expr::ident("x").as_const_number(), None);
+    }
+
+    #[test]
+    fn walk_visits_nested() {
+        let e = Expr::Binary {
+            op: BinOp::Add,
+            lhs: Box::new(Expr::ident("a")),
+            rhs: Box::new(Expr::Call {
+                name: "f".into(),
+                args: vec![Expr::number(1.0)],
+                span: Span::dummy(),
+            }),
+            span: Span::dummy(),
+        };
+        let mut count = 0;
+        e.walk(&mut |_| count += 1);
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn program_function_lookup() {
+        let mut p = Program::default();
+        p.functions.push(Function {
+            name: "fir".into(),
+            params: vec!["x".into()],
+            outputs: vec!["y".into()],
+            body: vec![],
+            span: Span::dummy(),
+        });
+        assert!(p.function("fir").is_some());
+        assert!(p.function("nope").is_none());
+        assert!(!p.is_script());
+    }
+}

@@ -1,0 +1,178 @@
+//! Compiler diagnostics shared by every stage of the pipeline.
+
+use crate::span::{SourceMap, Span};
+use std::fmt;
+
+/// Severity of a [`Diagnostic`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// A note attached to another diagnostic or informational output.
+    Note,
+    /// Suspicious but compilable construct.
+    Warning,
+    /// The input is invalid; compilation cannot produce output.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Severity::Note => "note",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One message with a source location, produced by any compiler stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// How serious the problem is.
+    pub severity: Severity,
+    /// Human-readable message, lowercase, no trailing punctuation.
+    pub message: String,
+    /// Location in the source buffer the message refers to.
+    pub span: Span,
+}
+
+impl Diagnostic {
+    /// Creates an error diagnostic.
+    pub fn error(message: impl Into<String>, span: Span) -> Self {
+        Diagnostic {
+            severity: Severity::Error,
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// Creates a warning diagnostic.
+    pub fn warning(message: impl Into<String>, span: Span) -> Self {
+        Diagnostic {
+            severity: Severity::Warning,
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// Renders the diagnostic with a resolved line/column using `map`.
+    pub fn render(&self, map: &SourceMap) -> String {
+        let pos = map.line_col(self.span.start);
+        format!("{}: {} at {}", self.severity, self.message, pos)
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {} at {}", self.severity, self.message, self.span)
+    }
+}
+
+impl std::error::Error for Diagnostic {}
+
+/// Accumulates diagnostics across a compiler stage.
+///
+/// Stages push into a `DiagnosticBag` while recovering, then the driver
+/// checks [`DiagnosticBag::has_errors`] before moving to the next stage.
+#[derive(Debug, Clone, Default)]
+pub struct DiagnosticBag {
+    diags: Vec<Diagnostic>,
+}
+
+impl DiagnosticBag {
+    /// Creates an empty bag.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a diagnostic.
+    pub fn push(&mut self, diag: Diagnostic) {
+        self.diags.push(diag);
+    }
+
+    /// Records an error with a message and span.
+    pub fn error(&mut self, message: impl Into<String>, span: Span) {
+        self.push(Diagnostic::error(message, span));
+    }
+
+    /// Records a warning with a message and span.
+    pub fn warning(&mut self, message: impl Into<String>, span: Span) {
+        self.push(Diagnostic::warning(message, span));
+    }
+
+    /// All recorded diagnostics in emission order.
+    pub fn iter(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diags.iter()
+    }
+
+    /// Whether any diagnostic is an error.
+    pub fn has_errors(&self) -> bool {
+        self.diags.iter().any(|d| d.severity == Severity::Error)
+    }
+
+    /// Number of diagnostics recorded.
+    pub fn len(&self) -> usize {
+        self.diags.len()
+    }
+
+    /// Whether no diagnostics were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.diags.is_empty()
+    }
+
+    /// Consumes the bag, returning the diagnostics.
+    pub fn into_vec(self) -> Vec<Diagnostic> {
+        self.diags
+    }
+
+    /// The first error, if any — convenient for turning a bag into a
+    /// `Result` in single-error APIs.
+    pub fn first_error(&self) -> Option<&Diagnostic> {
+        self.diags.iter().find(|d| d.severity == Severity::Error)
+    }
+}
+
+impl Extend<Diagnostic> for DiagnosticBag {
+    fn extend<T: IntoIterator<Item = Diagnostic>>(&mut self, iter: T) {
+        self.diags.extend(iter);
+    }
+}
+
+impl IntoIterator for DiagnosticBag {
+    type Item = Diagnostic;
+    type IntoIter = std::vec::IntoIter<Diagnostic>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.diags.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bag_tracks_errors() {
+        let mut bag = DiagnosticBag::new();
+        assert!(!bag.has_errors());
+        bag.warning("odd spacing", Span::new(0, 1));
+        assert!(!bag.has_errors());
+        bag.error("unexpected token", Span::new(1, 2));
+        assert!(bag.has_errors());
+        assert_eq!(bag.len(), 2);
+        assert_eq!(bag.first_error().unwrap().message, "unexpected token");
+    }
+
+    #[test]
+    fn render_includes_position() {
+        let map = SourceMap::new("a\nbb = ;");
+        let d = Diagnostic::error("unexpected `;`", Span::new(7, 8));
+        assert_eq!(d.render(&map), "error: unexpected `;` at 2:6");
+    }
+
+    #[test]
+    fn severity_ordering() {
+        assert!(Severity::Error > Severity::Warning);
+        assert!(Severity::Warning > Severity::Note);
+    }
+}

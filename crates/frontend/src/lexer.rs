@@ -1,0 +1,604 @@
+//! Lexer for the MATLAB subset.
+//!
+//! Handles the MATLAB-specific quirks that make this language unusual to
+//! tokenize:
+//!
+//! * `'` is either a **transpose** operator or a **string** opener, decided
+//!   by the preceding token ([`TokenKind::allows_postfix_quote`]);
+//! * newlines are statement separators and therefore significant;
+//! * `...` continues a logical line, swallowing the rest of the physical
+//!   line (including a trailing comment);
+//! * `%` starts a line comment, `%{` / `%}` a block comment;
+//! * numbers may carry an `i`/`j` suffix producing an imaginary literal.
+
+use crate::diag::{Diagnostic, DiagnosticBag};
+use crate::span::Span;
+use crate::token::{Token, TokenKind};
+
+/// Lexes `src`, returning the token stream and any diagnostics.
+///
+/// The stream always terminates with a single [`TokenKind::Eof`] token.
+/// Lexing recovers from invalid characters (skipping them with an error
+/// diagnostic) so the parser always receives a well-formed stream.
+///
+/// # Examples
+///
+/// ```
+/// use matic_frontend::lexer::lex;
+/// use matic_frontend::token::TokenKind;
+///
+/// let (tokens, diags) = lex("y = x';");
+/// assert!(!diags.has_errors());
+/// assert!(tokens.iter().any(|t| t.kind == TokenKind::Transpose));
+/// ```
+pub fn lex(src: &str) -> (Vec<Token>, DiagnosticBag) {
+    let mut lexer = Lexer::new(src);
+    lexer.run();
+    (lexer.tokens, lexer.diags)
+}
+
+struct Lexer<'s> {
+    src: &'s str,
+    bytes: &'s [u8],
+    pos: usize,
+    tokens: Vec<Token>,
+    diags: DiagnosticBag,
+    /// Whether whitespace was seen since the previous token.
+    pending_space: bool,
+}
+
+impl<'s> Lexer<'s> {
+    fn new(src: &'s str) -> Self {
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            tokens: Vec::new(),
+            diags: DiagnosticBag::new(),
+            pending_space: false,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn last_kind(&self) -> Option<&TokenKind> {
+        self.tokens.last().map(|t| &t.kind)
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize) {
+        let span = Span::new(start as u32, self.pos as u32);
+        let space = std::mem::take(&mut self.pending_space);
+        self.tokens.push(Token::with_space(kind, span, space));
+    }
+
+    fn run(&mut self) {
+        while self.pos < self.bytes.len() {
+            let start = self.pos;
+            let b = self.bytes[self.pos];
+            match b {
+                b' ' | b'\t' | b'\r' => {
+                    self.pos += 1;
+                    self.pending_space = true;
+                }
+                b'\n' => {
+                    self.pos += 1;
+                    // Collapse runs of newlines into one separator and skip
+                    // a leading separator entirely.
+                    if !matches!(self.last_kind(), None | Some(TokenKind::Newline)) {
+                        self.push(TokenKind::Newline, start);
+                    }
+                    self.pending_space = false;
+                }
+                b'%' => self.lex_comment(),
+                b'.' => {
+                    if self.peek_at(1).is_some_and(|c| c.is_ascii_digit()) {
+                        self.lex_number(start);
+                    } else {
+                        self.lex_dot_operator(start);
+                    }
+                }
+                b'0'..=b'9' => self.lex_number(start),
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.lex_ident(start),
+                b'\'' => {
+                    let transpose = self
+                        .last_kind()
+                        .is_some_and(|k| k.allows_postfix_quote())
+                        && !self.pending_space_blocks_transpose();
+                    if transpose {
+                        self.pos += 1;
+                        self.push(TokenKind::Transpose, start);
+                    } else {
+                        self.lex_string(start);
+                    }
+                }
+                b'"' => self.lex_dquote_string(start),
+                _ => self.lex_operator(start),
+            }
+        }
+        let end = self.pos;
+        // Ensure a trailing newline separator before EOF so the parser can
+        // treat "statement then separator" uniformly.
+        if !matches!(self.last_kind(), None | Some(TokenKind::Newline)) {
+            self.push(TokenKind::Newline, end);
+        }
+        self.push(TokenKind::Eof, end);
+    }
+
+    /// `x '` with a space in statement position starts a string in MATLAB,
+    /// but `x'` is a transpose. Outside brackets MATLAB actually still
+    /// treats `x '` as transpose in expression context; inside command
+    /// syntax it differs. We only block the transpose reading when the
+    /// quote is preceded by whitespace *and* the previous token ends an
+    /// expression that whitespace could separate in a matrix literal —
+    /// the parser-level space rule needs `[a 'str']` to lex as a string.
+    fn pending_space_blocks_transpose(&self) -> bool {
+        self.pending_space && self.in_bracket_context()
+    }
+
+    /// Crude but effective bracket-depth scan over the tokens so far.
+    fn in_bracket_context(&self) -> bool {
+        let mut depth = 0i32;
+        for t in &self.tokens {
+            match t.kind {
+                TokenKind::LBracket => depth += 1,
+                TokenKind::RBracket => depth -= 1,
+                _ => {}
+            }
+        }
+        depth > 0
+    }
+
+    fn lex_comment(&mut self) {
+        // Block comment `%{` must be alone on its line in MATLAB; we accept
+        // it anywhere a line comment could start.
+        if self.peek_at(1) == Some(b'{') {
+            let start = self.pos;
+            self.pos += 2;
+            let mut depth = 1;
+            while self.pos < self.bytes.len() && depth > 0 {
+                if self.bytes[self.pos] == b'%' && self.peek_at(1) == Some(b'{') {
+                    depth += 1;
+                    self.pos += 2;
+                } else if self.bytes[self.pos] == b'%' && self.peek_at(1) == Some(b'}') {
+                    depth -= 1;
+                    self.pos += 2;
+                } else {
+                    self.pos += 1;
+                }
+            }
+            if depth > 0 {
+                self.diags.push(Diagnostic::warning(
+                    "unterminated block comment",
+                    Span::new(start as u32, self.pos as u32),
+                ));
+            }
+        } else {
+            while self.peek().is_some_and(|b| b != b'\n') {
+                self.pos += 1;
+            }
+        }
+        self.pending_space = true;
+    }
+
+    fn lex_number(&mut self, start: usize) {
+        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            // `1.*x`, `1./x`, `1.^x`, `1.\x`, `2.'` keep the dot with the
+            // operator; otherwise the dot belongs to the number.
+            let next = self.peek_at(1);
+            let dot_is_operator =
+                matches!(next, Some(b'*') | Some(b'/') | Some(b'\\') | Some(b'^') | Some(b'\''));
+            if !dot_is_operator {
+                self.pos += 1;
+                while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                    self.pos += 1;
+                }
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            let mut ahead = 1;
+            if matches!(self.peek_at(1), Some(b'+') | Some(b'-')) {
+                ahead = 2;
+            }
+            if self.peek_at(ahead).is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += ahead;
+                while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                    self.pos += 1;
+                }
+            }
+        }
+        let text = &self.src[start..self.pos];
+        let value: f64 = match text.parse() {
+            Ok(v) => v,
+            Err(_) => {
+                self.diags.push(Diagnostic::error(
+                    format!("invalid numeric literal `{text}`"),
+                    Span::new(start as u32, self.pos as u32),
+                ));
+                0.0
+            }
+        };
+        // Imaginary suffix. Only applies when not followed by more
+        // identifier characters (`2in` is `2 * in`? no — it's invalid; we
+        // treat `i`/`j` + ident-char as separate tokens is wrong, MATLAB
+        // rejects it; we accept the suffix only when the next char cannot
+        // continue an identifier).
+        if matches!(self.peek(), Some(b'i') | Some(b'j'))
+            && !self
+                .peek_at(1)
+                .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+        {
+            self.pos += 1;
+            self.push(TokenKind::Imaginary(value), start);
+        } else {
+            self.push(TokenKind::Number(value), start);
+        }
+    }
+
+    fn lex_ident(&mut self, start: usize) {
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+        {
+            self.pos += 1;
+        }
+        let text = &self.src[start..self.pos];
+        match TokenKind::keyword(text) {
+            Some(kw) => self.push(kw, start),
+            None => self.push(TokenKind::Ident(text.to_string()), start),
+        }
+    }
+
+    fn lex_string(&mut self, start: usize) {
+        self.pos += 1; // opening quote
+        let mut value = String::new();
+        loop {
+            match self.bump() {
+                Some(b'\'') => {
+                    if self.peek() == Some(b'\'') {
+                        value.push('\'');
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                Some(b'\n') | None => {
+                    self.diags.push(Diagnostic::error(
+                        "unterminated string literal",
+                        Span::new(start as u32, self.pos as u32),
+                    ));
+                    break;
+                }
+                Some(b) => value.push(b as char),
+            }
+        }
+        self.push(TokenKind::Str(value), start);
+    }
+
+    fn lex_dquote_string(&mut self, start: usize) {
+        self.pos += 1;
+        let mut value = String::new();
+        loop {
+            match self.bump() {
+                Some(b'"') => {
+                    if self.peek() == Some(b'"') {
+                        value.push('"');
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                Some(b'\n') | None => {
+                    self.diags.push(Diagnostic::error(
+                        "unterminated string literal",
+                        Span::new(start as u32, self.pos as u32),
+                    ));
+                    break;
+                }
+                Some(b) => value.push(b as char),
+            }
+        }
+        self.push(TokenKind::Str(value), start);
+    }
+
+    fn lex_dot_operator(&mut self, start: usize) {
+        self.pos += 1; // consume `.`
+        match self.peek() {
+            Some(b'*') => {
+                self.pos += 1;
+                self.push(TokenKind::DotStar, start);
+            }
+            Some(b'/') => {
+                self.pos += 1;
+                self.push(TokenKind::DotSlash, start);
+            }
+            Some(b'\\') => {
+                self.pos += 1;
+                self.push(TokenKind::DotBackslash, start);
+            }
+            Some(b'^') => {
+                self.pos += 1;
+                self.push(TokenKind::DotCaret, start);
+            }
+            Some(b'\'') => {
+                self.pos += 1;
+                self.push(TokenKind::DotTranspose, start);
+            }
+            Some(b'.') if self.peek_at(1) == Some(b'.') => {
+                // `...` line continuation: skip to (and over) end of line.
+                self.pos += 2;
+                while self.peek().is_some_and(|b| b != b'\n') {
+                    self.pos += 1;
+                }
+                if self.peek() == Some(b'\n') {
+                    self.pos += 1;
+                }
+                self.pending_space = true;
+            }
+            _ => self.push(TokenKind::Dot, start),
+        }
+    }
+
+    fn lex_operator(&mut self, start: usize) {
+        let b = self.bytes[self.pos];
+        self.pos += 1;
+        let two = |lexer: &Lexer<'s>| lexer.peek();
+        let kind = match b {
+            b'(' => TokenKind::LParen,
+            b')' => TokenKind::RParen,
+            b'[' => TokenKind::LBracket,
+            b']' => TokenKind::RBracket,
+            b'{' => TokenKind::LBrace,
+            b'}' => TokenKind::RBrace,
+            b',' => TokenKind::Comma,
+            b';' => TokenKind::Semicolon,
+            b'+' => TokenKind::Plus,
+            b'-' => TokenKind::Minus,
+            b'*' => TokenKind::Star,
+            b'/' => TokenKind::Slash,
+            b'\\' => TokenKind::Backslash,
+            b'^' => TokenKind::Caret,
+            b':' => TokenKind::Colon,
+            b'@' => TokenKind::At,
+            b'=' => {
+                if two(self) == Some(b'=') {
+                    self.pos += 1;
+                    TokenKind::Eq
+                } else {
+                    TokenKind::Assign
+                }
+            }
+            b'~' => {
+                if two(self) == Some(b'=') {
+                    self.pos += 1;
+                    TokenKind::Ne
+                } else {
+                    TokenKind::Not
+                }
+            }
+            b'<' => {
+                if two(self) == Some(b'=') {
+                    self.pos += 1;
+                    TokenKind::Le
+                } else {
+                    TokenKind::Lt
+                }
+            }
+            b'>' => {
+                if two(self) == Some(b'=') {
+                    self.pos += 1;
+                    TokenKind::Ge
+                } else {
+                    TokenKind::Gt
+                }
+            }
+            b'&' => {
+                if two(self) == Some(b'&') {
+                    self.pos += 1;
+                    TokenKind::AndAnd
+                } else {
+                    TokenKind::And
+                }
+            }
+            b'|' => {
+                if two(self) == Some(b'|') {
+                    self.pos += 1;
+                    TokenKind::OrOr
+                } else {
+                    TokenKind::Or
+                }
+            }
+            _ => {
+                self.diags.push(Diagnostic::error(
+                    format!("unexpected character `{}`", b as char),
+                    Span::new(start as u32, self.pos as u32),
+                ));
+                return;
+            }
+        };
+        self.push(kind, start);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        let (tokens, diags) = lex(src);
+        assert!(!diags.has_errors(), "lex errors: {:?}", diags.into_vec());
+        tokens.into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn simple_assignment() {
+        assert_eq!(
+            kinds("x = 1;"),
+            vec![
+                TokenKind::Ident("x".into()),
+                TokenKind::Assign,
+                TokenKind::Number(1.0),
+                TokenKind::Semicolon,
+                TokenKind::Newline,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn transpose_vs_string() {
+        // After an identifier: transpose.
+        let k = kinds("y = x';");
+        assert!(k.contains(&TokenKind::Transpose));
+        // In value position: string.
+        let k = kinds("y = 'abc';");
+        assert!(k.contains(&TokenKind::Str("abc".into())));
+        // After a closing paren: transpose.
+        let k = kinds("y = (x)';");
+        assert!(k.contains(&TokenKind::Transpose));
+    }
+
+    #[test]
+    fn doubled_quote_escapes() {
+        let k = kinds("s = 'it''s';");
+        assert!(k.contains(&TokenKind::Str("it's".into())));
+    }
+
+    #[test]
+    fn imaginary_literals() {
+        let k = kinds("z = 2i + 3.5j;");
+        assert!(k.contains(&TokenKind::Imaginary(2.0)));
+        assert!(k.contains(&TokenKind::Imaginary(3.5)));
+    }
+
+    #[test]
+    fn scientific_notation() {
+        assert!(kinds("1e3").contains(&TokenKind::Number(1000.0)));
+        assert!(kinds("2.5e-2").contains(&TokenKind::Number(0.025)));
+        assert!(kinds("1E+2").contains(&TokenKind::Number(100.0)));
+        assert!(kinds(".5").contains(&TokenKind::Number(0.5)));
+    }
+
+    #[test]
+    fn number_dot_operator_disambiguation() {
+        let k = kinds("y = 2.*x;");
+        assert!(k.contains(&TokenKind::Number(2.0)));
+        assert!(k.contains(&TokenKind::DotStar));
+        let k = kinds("y = 2.5.*x;");
+        assert!(k.contains(&TokenKind::Number(2.5)));
+        assert!(k.contains(&TokenKind::DotStar));
+    }
+
+    #[test]
+    fn dot_transpose() {
+        let k = kinds("y = x.';");
+        assert!(k.contains(&TokenKind::DotTranspose));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let k = kinds("x = 1; % set x\ny = 2;");
+        assert!(!k.iter().any(|t| matches!(t, TokenKind::Str(_))));
+        assert!(k.contains(&TokenKind::Ident("y".into())));
+    }
+
+    #[test]
+    fn block_comments() {
+        let k = kinds("%{\nnothing here\n%}\nx = 1;");
+        assert_eq!(k[0], TokenKind::Ident("x".into()));
+    }
+
+    #[test]
+    fn line_continuation() {
+        let k = kinds("x = 1 + ...\n    2;");
+        assert!(k.contains(&TokenKind::Number(2.0)));
+        // Exactly one newline separator (the trailing one).
+        let newlines = k.iter().filter(|t| **t == TokenKind::Newline).count();
+        assert_eq!(newlines, 1);
+    }
+
+    #[test]
+    fn newline_runs_collapse() {
+        let k = kinds("a = 1\n\n\nb = 2\n");
+        let newlines = k.iter().filter(|t| **t == TokenKind::Newline).count();
+        assert_eq!(newlines, 2);
+    }
+
+    #[test]
+    fn relational_operators() {
+        let k = kinds("a == b; a ~= b; a <= b; a >= b; a && b; a || b;");
+        for t in [
+            TokenKind::Eq,
+            TokenKind::Ne,
+            TokenKind::Le,
+            TokenKind::Ge,
+            TokenKind::AndAnd,
+            TokenKind::OrOr,
+        ] {
+            assert!(k.contains(&t), "missing {t}");
+        }
+    }
+
+    #[test]
+    fn space_before_is_recorded() {
+        let (tokens, _) = lex("[1 -2]");
+        let minus = tokens
+            .iter()
+            .find(|t| t.kind == TokenKind::Minus)
+            .expect("minus token");
+        assert!(minus.space_before);
+        let (tokens, _) = lex("[1-2]");
+        let minus = tokens
+            .iter()
+            .find(|t| t.kind == TokenKind::Minus)
+            .expect("minus token");
+        assert!(!minus.space_before);
+    }
+
+    #[test]
+    fn invalid_character_recovers() {
+        let (tokens, diags) = lex("x = 1 $ 2;");
+        assert!(diags.has_errors());
+        // Lexing continued past the bad character.
+        assert!(tokens.iter().any(|t| t.kind == TokenKind::Number(2.0)));
+    }
+
+    #[test]
+    fn unterminated_string_reports_error() {
+        let (_, diags) = lex("s = 'oops");
+        assert!(diags.has_errors());
+    }
+
+    #[test]
+    fn keywords_lex_as_keywords() {
+        let k = kinds("for i = 1:3\nend");
+        assert!(k.contains(&TokenKind::For));
+        assert!(k.contains(&TokenKind::End));
+        assert!(k.contains(&TokenKind::Colon));
+    }
+
+    #[test]
+    fn string_inside_brackets_after_space() {
+        let (tokens, diags) = lex("x = ['ab' 'cd'];");
+        assert!(!diags.has_errors());
+        let strings: Vec<_> = tokens
+            .iter()
+            .filter(|t| matches!(t.kind, TokenKind::Str(_)))
+            .collect();
+        assert_eq!(strings.len(), 2);
+    }
+}

@@ -1,0 +1,38 @@
+//! # matic-frontend
+//!
+//! Lexer, parser, AST and diagnostics for the MATLAB subset compiled by the
+//! `matic` MATLAB-to-C compiler (a reproduction of *"Matlab to C Compilation
+//! Targeting Application Specific Instruction Set Processors"*, DATE 2016).
+//!
+//! The supported subset covers what DSP kernels are written in: functions,
+//! matrices and ranges, `for`/`while`/`if`, element-wise and linear-algebra
+//! operators, complex arithmetic, indexing with `end`, and multi-output
+//! calls.
+//!
+//! # Examples
+//!
+//! ```
+//! use matic_frontend::parse;
+//!
+//! let src = "function y = scale(x, k)\n    y = k .* x;\nend";
+//! let (program, diags) = parse(src);
+//! assert!(!diags.has_errors());
+//! let f = program.function("scale").expect("function exists");
+//! assert_eq!(f.params, vec!["x", "k"]);
+//! ```
+
+pub mod ast;
+pub mod diag;
+pub mod lexer;
+pub mod parser;
+pub mod printer;
+pub mod span;
+pub mod token;
+
+pub use ast::{BinOp, Expr, Function, LValue, Program, Stmt, UnOp};
+pub use diag::{Diagnostic, DiagnosticBag, Severity};
+pub use lexer::lex;
+pub use parser::parse;
+pub use printer::print_program;
+pub use span::{LineCol, SourceMap, Span};
+pub use token::{Token, TokenKind};

@@ -1,0 +1,1387 @@
+//! Recursive-descent parser for the MATLAB subset.
+//!
+//! Notable MATLAB-isms handled here:
+//!
+//! * `end` is both a block terminator and an index expression (`x(end-1)`);
+//!   it is an index only while the parser is inside call/index parentheses;
+//! * matrix literals are space-sensitive: `[1 -2]` has two elements while
+//!   `[1 - 2]` has one — decided from the lexer's `space_before` flags;
+//! * `x(i)` is parsed as an ambiguous call node; array-vs-function
+//!   resolution happens in semantic analysis;
+//! * `[a, b] = f(x)` multi-output assignment is recognized by lookahead.
+
+use crate::ast::*;
+use crate::diag::DiagnosticBag;
+use crate::lexer::lex;
+use crate::token::{Token, TokenKind};
+
+/// Parses MATLAB source into a [`Program`] plus diagnostics.
+///
+/// Parsing always returns a (possibly partial) program; check
+/// [`DiagnosticBag::has_errors`] before trusting it.
+///
+/// # Examples
+///
+/// ```
+/// use matic_frontend::parser::parse;
+///
+/// let (program, diags) = parse("function y = twice(x)\ny = 2 * x;\nend");
+/// assert!(!diags.has_errors());
+/// assert_eq!(program.functions[0].name, "twice");
+/// ```
+pub fn parse(src: &str) -> (Program, DiagnosticBag) {
+    let (tokens, mut diags) = lex(src);
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        diags: DiagnosticBag::new(),
+        index_depth: 0,
+        matrix_mode: Vec::new(),
+    };
+    let program = parser.parse_program();
+    diags.extend(parser.diags);
+    (program, diags)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    diags: DiagnosticBag,
+    /// Nesting depth of call/index parentheses; `end` is an expression
+    /// only when this is positive.
+    index_depth: u32,
+    /// Bracket-context stack: `true` while directly inside a matrix
+    /// literal, `false` inside parentheses nested in one.
+    matrix_mode: Vec<bool>,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn peek_kind(&self) -> &TokenKind {
+        &self.peek().kind
+    }
+
+    fn peek_at(&self, ahead: usize) -> &Token {
+        &self.tokens[(self.pos + ahead).min(self.tokens.len() - 1)]
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at(&self, kind: &TokenKind) -> bool {
+        self.peek_kind() == kind
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.at(kind) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Token {
+        if self.at(kind) {
+            self.bump()
+        } else {
+            let t = self.peek().clone();
+            self.diags
+                .error(format!("expected `{kind}`, found `{}`", t.kind), t.span);
+            t
+        }
+    }
+
+    fn error_here(&mut self, msg: impl Into<String>) {
+        let span = self.peek().span;
+        self.diags.error(msg, span);
+    }
+
+    /// Skips statement separators (newlines, semicolons, commas).
+    fn skip_separators(&mut self) {
+        while matches!(
+            self.peek_kind(),
+            TokenKind::Newline | TokenKind::Semicolon | TokenKind::Comma
+        ) {
+            self.bump();
+        }
+    }
+
+    /// Skips to the next statement separator — error recovery.
+    fn recover_to_separator(&mut self) {
+        while !matches!(
+            self.peek_kind(),
+            TokenKind::Newline | TokenKind::Semicolon | TokenKind::Eof
+        ) {
+            self.bump();
+        }
+    }
+
+    fn parse_program(&mut self) -> Program {
+        let mut program = Program::default();
+        self.skip_separators();
+        // Script part: statements before the first `function`.
+        while !self.at(&TokenKind::Eof) && !self.at(&TokenKind::Function) {
+            if let Some(stmt) = self.parse_stmt() {
+                program.script.push(stmt);
+            }
+            self.skip_separators();
+        }
+        while self.at(&TokenKind::Function) {
+            let f = self.parse_function();
+            program.functions.push(f);
+            self.skip_separators();
+        }
+        if !self.at(&TokenKind::Eof) {
+            self.error_here("expected function definition or end of file");
+        }
+        program
+    }
+
+    fn parse_function(&mut self) -> Function {
+        let start = self.expect(&TokenKind::Function).span;
+        let mut outputs = Vec::new();
+        let name;
+
+        // Forms: `function name(...)`, `function out = name(...)`,
+        // `function [o1, o2] = name(...)`.
+        if self.at(&TokenKind::LBracket) {
+            self.bump();
+            while !self.at(&TokenKind::RBracket) && !self.at(&TokenKind::Eof) {
+                if let TokenKind::Ident(n) = self.peek_kind().clone() {
+                    self.bump();
+                    outputs.push(n);
+                } else {
+                    self.error_here("expected output variable name");
+                    self.bump();
+                }
+                self.eat(&TokenKind::Comma);
+            }
+            self.expect(&TokenKind::RBracket);
+            self.expect(&TokenKind::Assign);
+            name = self.expect_ident("function name");
+        } else {
+            let first = self.expect_ident("function name");
+            if self.eat(&TokenKind::Assign) {
+                outputs.push(first);
+                name = self.expect_ident("function name");
+            } else {
+                name = first;
+            }
+        }
+
+        let mut params = Vec::new();
+        if self.eat(&TokenKind::LParen) {
+            while !self.at(&TokenKind::RParen) && !self.at(&TokenKind::Eof) {
+                if self.eat(&TokenKind::Not) {
+                    params.push("~".to_string());
+                } else {
+                    params.push(self.expect_ident("parameter name"));
+                }
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(&TokenKind::RParen);
+        }
+        let header_end = self.peek().span;
+        self.skip_separators();
+
+        let body = self.parse_block(&[TokenKind::End, TokenKind::Function, TokenKind::Eof]);
+        // Function files may omit the trailing `end`.
+        self.eat(&TokenKind::End);
+
+        Function {
+            name,
+            params,
+            outputs,
+            body,
+            span: start.to(header_end),
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> String {
+        if let TokenKind::Ident(n) = self.peek_kind().clone() {
+            self.bump();
+            n
+        } else {
+            self.error_here(format!("expected {what}"));
+            String::from("<error>")
+        }
+    }
+
+    /// Parses statements until one of `closers` is at the front (the closer
+    /// is *not* consumed).
+    fn parse_block(&mut self, closers: &[TokenKind]) -> Vec<Stmt> {
+        let mut stmts = Vec::new();
+        self.skip_separators();
+        loop {
+            if self.at(&TokenKind::Eof) || closers.iter().any(|c| self.at(c)) {
+                break;
+            }
+            let before = self.pos;
+            if let Some(stmt) = self.parse_stmt() {
+                stmts.push(stmt);
+            }
+            if self.pos == before {
+                // No progress — skip the offending token to avoid looping.
+                self.bump();
+            }
+            self.skip_separators();
+        }
+        stmts
+    }
+
+    fn parse_stmt(&mut self) -> Option<Stmt> {
+        match self.peek_kind() {
+            TokenKind::If => Some(self.parse_if()),
+            TokenKind::For => Some(self.parse_for()),
+            TokenKind::While => Some(self.parse_while()),
+            TokenKind::Break => {
+                let span = self.bump().span;
+                Some(Stmt::Break(span))
+            }
+            TokenKind::Continue => {
+                let span = self.bump().span;
+                Some(Stmt::Continue(span))
+            }
+            TokenKind::Return => {
+                let span = self.bump().span;
+                Some(Stmt::Return(span))
+            }
+            TokenKind::Global => Some(self.parse_global()),
+            TokenKind::LBracket if self.is_multi_assign() => Some(self.parse_multi_assign()),
+            _ => self.parse_simple_stmt(),
+        }
+    }
+
+    /// Lookahead: does the `[...]` at the cursor belong to a
+    /// `[a, b] = f(x)` multi-assignment?
+    fn is_multi_assign(&self) -> bool {
+        debug_assert!(self.at(&TokenKind::LBracket));
+        let mut depth = 0usize;
+        let mut i = self.pos;
+        while i < self.tokens.len() {
+            match &self.tokens[i].kind {
+                TokenKind::LBracket => depth += 1,
+                TokenKind::RBracket => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return matches!(
+                            self.tokens.get(i + 1).map(|t| &t.kind),
+                            Some(TokenKind::Assign)
+                        );
+                    }
+                }
+                TokenKind::Eof | TokenKind::Newline => return false,
+                _ => {}
+            }
+            i += 1;
+        }
+        false
+    }
+
+    fn parse_multi_assign(&mut self) -> Stmt {
+        let start = self.expect(&TokenKind::LBracket).span;
+        let mut targets = Vec::new();
+        while !self.at(&TokenKind::RBracket) && !self.at(&TokenKind::Eof) {
+            if self.eat(&TokenKind::Not) {
+                targets.push(None);
+            } else {
+                targets.push(Some(self.parse_lvalue()));
+            }
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(&TokenKind::RBracket);
+        self.expect(&TokenKind::Assign);
+        let call = self.parse_expr();
+        let end = call.span();
+        let suppressed = self.eat(&TokenKind::Semicolon);
+        Stmt::MultiAssign {
+            targets,
+            call,
+            suppressed,
+            span: start.to(end),
+        }
+    }
+
+    fn parse_lvalue(&mut self) -> LValue {
+        let name_tok = self.peek().clone();
+        let name = self.expect_ident("assignment target");
+        if self.at(&TokenKind::LParen) {
+            self.bump();
+            self.index_depth += 1;
+            self.matrix_mode.push(false);
+            let indices = self.parse_arg_list();
+            self.matrix_mode.pop();
+            self.index_depth -= 1;
+            let close = self.expect(&TokenKind::RParen).span;
+            LValue::Index {
+                name,
+                indices,
+                span: name_tok.span.to(close),
+            }
+        } else {
+            LValue::Name {
+                name,
+                span: name_tok.span,
+            }
+        }
+    }
+
+    fn parse_simple_stmt(&mut self) -> Option<Stmt> {
+        let start_pos = self.pos;
+        let expr = self.parse_expr();
+        if self.pos == start_pos {
+            // parse_expr made no progress; bail out (caller recovers).
+            self.recover_to_separator();
+            return None;
+        }
+        let span = expr.span();
+        if self.at(&TokenKind::Assign) {
+            self.bump();
+            let target = match self.expr_to_lvalue(expr) {
+                Some(lv) => lv,
+                None => {
+                    self.error_here("invalid assignment target");
+                    self.recover_to_separator();
+                    return None;
+                }
+            };
+            let value = self.parse_expr();
+            let full = span.to(value.span());
+            let suppressed = self.eat(&TokenKind::Semicolon);
+            Some(Stmt::Assign {
+                target,
+                value,
+                suppressed,
+                span: full,
+            })
+        } else {
+            let suppressed = self.eat(&TokenKind::Semicolon);
+            Some(Stmt::ExprStmt {
+                expr,
+                suppressed,
+                span,
+            })
+        }
+    }
+
+    fn expr_to_lvalue(&mut self, expr: Expr) -> Option<LValue> {
+        match expr {
+            Expr::Ident { name, span } => Some(LValue::Name { name, span }),
+            Expr::Call { name, args, span } => Some(LValue::Index {
+                name,
+                indices: args,
+                span,
+            }),
+            _ => None,
+        }
+    }
+
+    fn parse_if(&mut self) -> Stmt {
+        let start = self.expect(&TokenKind::If).span;
+        let mut arms = Vec::new();
+        let cond = self.parse_expr();
+        self.skip_separators();
+        let body = self.parse_block(&[TokenKind::Elseif, TokenKind::Else, TokenKind::End]);
+        arms.push((cond, body));
+        let mut else_body = None;
+        loop {
+            if self.eat(&TokenKind::Elseif) {
+                let c = self.parse_expr();
+                self.skip_separators();
+                let b = self.parse_block(&[TokenKind::Elseif, TokenKind::Else, TokenKind::End]);
+                arms.push((c, b));
+            } else if self.eat(&TokenKind::Else) {
+                self.skip_separators();
+                else_body = Some(self.parse_block(&[TokenKind::End]));
+                break;
+            } else {
+                break;
+            }
+        }
+        let end = self.expect(&TokenKind::End).span;
+        Stmt::If {
+            arms,
+            else_body,
+            span: start.to(end),
+        }
+    }
+
+    fn parse_for(&mut self) -> Stmt {
+        let start = self.expect(&TokenKind::For).span;
+        // Parenthesized form `for (i = 1:n)` is also legal MATLAB.
+        let parenthesized = self.eat(&TokenKind::LParen);
+        let var = self.expect_ident("loop variable");
+        self.expect(&TokenKind::Assign);
+        let iter = self.parse_expr();
+        if parenthesized {
+            self.expect(&TokenKind::RParen);
+        }
+        self.skip_separators();
+        let body = self.parse_block(&[TokenKind::End]);
+        let end = self.expect(&TokenKind::End).span;
+        Stmt::For {
+            var,
+            iter,
+            body,
+            span: start.to(end),
+        }
+    }
+
+    fn parse_while(&mut self) -> Stmt {
+        let start = self.expect(&TokenKind::While).span;
+        let cond = self.parse_expr();
+        self.skip_separators();
+        let body = self.parse_block(&[TokenKind::End]);
+        let end = self.expect(&TokenKind::End).span;
+        Stmt::While {
+            cond,
+            body,
+            span: start.to(end),
+        }
+    }
+
+    fn parse_global(&mut self) -> Stmt {
+        let start = self.expect(&TokenKind::Global).span;
+        let mut names = Vec::new();
+        let mut end = start;
+        while let TokenKind::Ident(n) = self.peek_kind().clone() {
+            end = self.bump().span;
+            names.push(n);
+            self.eat(&TokenKind::Comma);
+        }
+        if names.is_empty() {
+            self.error_here("expected variable name after `global`");
+        }
+        Stmt::Global {
+            names,
+            span: start.to(end),
+        }
+    }
+
+    // ----- expressions -------------------------------------------------
+
+    fn parse_expr(&mut self) -> Expr {
+        self.parse_oror()
+    }
+
+    fn parse_oror(&mut self) -> Expr {
+        let mut lhs = self.parse_andand();
+        while self.at(&TokenKind::OrOr) {
+            self.bump();
+            let rhs = self.parse_andand();
+            let span = lhs.span().to(rhs.span());
+            lhs = Expr::Binary {
+                op: BinOp::OrOr,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
+        }
+        lhs
+    }
+
+    fn parse_andand(&mut self) -> Expr {
+        let mut lhs = self.parse_elem_or();
+        while self.at(&TokenKind::AndAnd) {
+            self.bump();
+            let rhs = self.parse_elem_or();
+            let span = lhs.span().to(rhs.span());
+            lhs = Expr::Binary {
+                op: BinOp::AndAnd,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
+        }
+        lhs
+    }
+
+    fn parse_elem_or(&mut self) -> Expr {
+        let mut lhs = self.parse_elem_and();
+        while self.at(&TokenKind::Or) {
+            self.bump();
+            let rhs = self.parse_elem_and();
+            let span = lhs.span().to(rhs.span());
+            lhs = Expr::Binary {
+                op: BinOp::Or,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
+        }
+        lhs
+    }
+
+    fn parse_elem_and(&mut self) -> Expr {
+        let mut lhs = self.parse_comparison();
+        while self.at(&TokenKind::And) {
+            self.bump();
+            let rhs = self.parse_comparison();
+            let span = lhs.span().to(rhs.span());
+            lhs = Expr::Binary {
+                op: BinOp::And,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
+        }
+        lhs
+    }
+
+    fn parse_comparison(&mut self) -> Expr {
+        let mut lhs = self.parse_range();
+        loop {
+            let op = match self.peek_kind() {
+                TokenKind::Eq => BinOp::Eq,
+                TokenKind::Ne => BinOp::Ne,
+                TokenKind::Lt => BinOp::Lt,
+                TokenKind::Le => BinOp::Le,
+                TokenKind::Gt => BinOp::Gt,
+                TokenKind::Ge => BinOp::Ge,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.parse_range();
+            let span = lhs.span().to(rhs.span());
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
+        }
+        lhs
+    }
+
+    /// `a : b` or `a : b : c` — the colon sits between additive and
+    /// comparison precedence in MATLAB.
+    fn parse_range(&mut self) -> Expr {
+        let first = self.parse_additive();
+        if !self.at(&TokenKind::Colon) {
+            return first;
+        }
+        self.bump();
+        let second = self.parse_additive();
+        if self.at(&TokenKind::Colon) {
+            self.bump();
+            let third = self.parse_additive();
+            let span = first.span().to(third.span());
+            Expr::Range {
+                start: Box::new(first),
+                step: Some(Box::new(second)),
+                stop: Box::new(third),
+                span,
+            }
+        } else {
+            let span = first.span().to(second.span());
+            Expr::Range {
+                start: Box::new(first),
+                step: None,
+                stop: Box::new(second),
+                span,
+            }
+        }
+    }
+
+    /// The matrix-literal space rule: inside `[...]`, ` -x` (space before
+    /// the sign, none after, followed by a value) starts a new element
+    /// rather than continuing a binary expression.
+    fn matrix_element_boundary(&self) -> bool {
+        if self.matrix_mode.last() != Some(&true) {
+            return false;
+        }
+        let tok = self.peek();
+        if !matches!(tok.kind, TokenKind::Plus | TokenKind::Minus) {
+            return false;
+        }
+        let next = self.peek_at(1);
+        tok.space_before && !next.space_before && Self::starts_expression(&next.kind)
+    }
+
+    fn starts_expression(kind: &TokenKind) -> bool {
+        matches!(
+            kind,
+            TokenKind::Number(_)
+                | TokenKind::Imaginary(_)
+                | TokenKind::Ident(_)
+                | TokenKind::Str(_)
+                | TokenKind::LParen
+                | TokenKind::LBracket
+                | TokenKind::Not
+                | TokenKind::At
+                | TokenKind::Plus
+                | TokenKind::Minus
+                | TokenKind::End
+        )
+    }
+
+    fn parse_additive(&mut self) -> Expr {
+        let mut lhs = self.parse_multiplicative();
+        loop {
+            if self.matrix_element_boundary() {
+                break;
+            }
+            let op = match self.peek_kind() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.parse_multiplicative();
+            let span = lhs.span().to(rhs.span());
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
+        }
+        lhs
+    }
+
+    fn parse_multiplicative(&mut self) -> Expr {
+        let mut lhs = self.parse_unary();
+        loop {
+            let op = match self.peek_kind() {
+                TokenKind::Star => BinOp::MatMul,
+                TokenKind::DotStar => BinOp::ElemMul,
+                TokenKind::Slash => BinOp::MatDiv,
+                TokenKind::DotSlash => BinOp::ElemDiv,
+                TokenKind::Backslash => BinOp::MatLeftDiv,
+                TokenKind::DotBackslash => BinOp::ElemLeftDiv,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.parse_unary();
+            let span = lhs.span().to(rhs.span());
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
+        }
+        lhs
+    }
+
+    fn parse_unary(&mut self) -> Expr {
+        let tok = self.peek().clone();
+        match tok.kind {
+            TokenKind::Minus => {
+                self.bump();
+                let operand = self.parse_unary();
+                let span = tok.span.to(operand.span());
+                Expr::Unary {
+                    op: UnOp::Neg,
+                    operand: Box::new(operand),
+                    span,
+                }
+            }
+            TokenKind::Plus => {
+                self.bump();
+                let operand = self.parse_unary();
+                let span = tok.span.to(operand.span());
+                Expr::Unary {
+                    op: UnOp::Plus,
+                    operand: Box::new(operand),
+                    span,
+                }
+            }
+            TokenKind::Not => {
+                self.bump();
+                let operand = self.parse_unary();
+                let span = tok.span.to(operand.span());
+                Expr::Unary {
+                    op: UnOp::Not,
+                    operand: Box::new(operand),
+                    span,
+                }
+            }
+            _ => self.parse_power(),
+        }
+    }
+
+    /// `^` and `.^` — bind tighter than unary minus on the left, and allow
+    /// a unary sign on the exponent (`2^-1`). MATLAB evaluates chained
+    /// powers left to right.
+    fn parse_power(&mut self) -> Expr {
+        let mut lhs = self.parse_postfix();
+        loop {
+            let op = match self.peek_kind() {
+                TokenKind::Caret => BinOp::MatPow,
+                TokenKind::DotCaret => BinOp::ElemPow,
+                _ => break,
+            };
+            self.bump();
+            // Exponent may carry a unary sign but not a full unary chain
+            // at this precedence; `parse_unary` handles `2^-x` correctly
+            // because it recurses back down to postfix.
+            let rhs = if matches!(
+                self.peek_kind(),
+                TokenKind::Minus | TokenKind::Plus | TokenKind::Not
+            ) {
+                self.parse_unary()
+            } else {
+                self.parse_postfix()
+            };
+            let span = lhs.span().to(rhs.span());
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
+        }
+        lhs
+    }
+
+    fn parse_postfix(&mut self) -> Expr {
+        let mut expr = self.parse_primary();
+        loop {
+            match self.peek_kind() {
+                TokenKind::Transpose => {
+                    let t = self.bump();
+                    let span = expr.span().to(t.span);
+                    expr = Expr::Transpose {
+                        operand: Box::new(expr),
+                        conjugate: true,
+                        span,
+                    };
+                }
+                TokenKind::DotTranspose => {
+                    let t = self.bump();
+                    let span = expr.span().to(t.span);
+                    expr = Expr::Transpose {
+                        operand: Box::new(expr),
+                        conjugate: false,
+                        span,
+                    };
+                }
+                _ => break,
+            }
+        }
+        expr
+    }
+
+    fn parse_primary(&mut self) -> Expr {
+        let tok = self.peek().clone();
+        match tok.kind {
+            TokenKind::Number(v) => {
+                self.bump();
+                Expr::Number {
+                    value: v,
+                    span: tok.span,
+                }
+            }
+            TokenKind::Imaginary(v) => {
+                self.bump();
+                Expr::Imaginary {
+                    value: v,
+                    span: tok.span,
+                }
+            }
+            TokenKind::Str(ref s) => {
+                let s = s.clone();
+                self.bump();
+                Expr::Str {
+                    value: s,
+                    span: tok.span,
+                }
+            }
+            TokenKind::Ident(ref name) => {
+                let name = name.clone();
+                self.bump();
+                if self.at(&TokenKind::LParen) {
+                    self.bump();
+                    self.index_depth += 1;
+                    self.matrix_mode.push(false);
+                    let args = self.parse_arg_list();
+                    self.matrix_mode.pop();
+                    self.index_depth -= 1;
+                    let close = self.expect(&TokenKind::RParen).span;
+                    Expr::Call {
+                        name,
+                        args,
+                        span: tok.span.to(close),
+                    }
+                } else {
+                    Expr::Ident {
+                        name,
+                        span: tok.span,
+                    }
+                }
+            }
+            TokenKind::LParen => {
+                self.bump();
+                self.matrix_mode.push(false);
+                let inner = self.parse_expr();
+                self.matrix_mode.pop();
+                self.expect(&TokenKind::RParen);
+                inner
+            }
+            TokenKind::LBracket => self.parse_matrix(),
+            TokenKind::End if self.index_depth > 0 => {
+                self.bump();
+                Expr::EndKeyword { span: tok.span }
+            }
+            TokenKind::At => {
+                self.bump();
+                if self.at(&TokenKind::LParen) {
+                    self.bump();
+                    let mut params = Vec::new();
+                    while !self.at(&TokenKind::RParen) && !self.at(&TokenKind::Eof) {
+                        params.push(self.expect_ident("parameter name"));
+                        if !self.eat(&TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(&TokenKind::RParen);
+                    let body = self.parse_expr();
+                    let span = tok.span.to(body.span());
+                    Expr::AnonFn {
+                        params,
+                        body: Box::new(body),
+                        span,
+                    }
+                } else {
+                    let name = self.expect_ident("function name after `@`");
+                    Expr::FnHandle {
+                        name,
+                        span: tok.span,
+                    }
+                }
+            }
+            TokenKind::Colon => {
+                // Bare colon only makes sense as an index argument; the
+                // argument-list parser handles that case before calling
+                // here, so this is a stray colon.
+                self.bump();
+                self.error_here("`:` is only valid inside an index");
+                Expr::ColonAll { span: tok.span }
+            }
+            _ => {
+                self.diags.error(
+                    format!("expected expression, found `{}`", tok.kind),
+                    tok.span,
+                );
+                self.bump();
+                Expr::Number {
+                    value: 0.0,
+                    span: tok.span,
+                }
+            }
+        }
+    }
+
+    /// Parses a comma-separated argument list, allowing bare `:` arguments.
+    fn parse_arg_list(&mut self) -> Vec<Expr> {
+        let mut args = Vec::new();
+        if self.at(&TokenKind::RParen) {
+            return args;
+        }
+        loop {
+            if self.at(&TokenKind::Colon)
+                && matches!(
+                    self.peek_at(1).kind,
+                    TokenKind::Comma | TokenKind::RParen
+                )
+            {
+                let t = self.bump();
+                args.push(Expr::ColonAll { span: t.span });
+            } else {
+                args.push(self.parse_expr());
+            }
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        args
+    }
+
+    fn parse_matrix(&mut self) -> Expr {
+        let start = self.expect(&TokenKind::LBracket).span;
+        self.matrix_mode.push(true);
+        let mut rows: Vec<Vec<Expr>> = Vec::new();
+        let mut row: Vec<Expr> = Vec::new();
+        loop {
+            match self.peek_kind() {
+                TokenKind::RBracket | TokenKind::Eof => break,
+                TokenKind::Semicolon | TokenKind::Newline => {
+                    self.bump();
+                    if !row.is_empty() {
+                        rows.push(std::mem::take(&mut row));
+                    }
+                }
+                TokenKind::Comma => {
+                    self.bump();
+                }
+                _ => {
+                    let before = self.pos;
+                    row.push(self.parse_expr());
+                    if self.pos == before {
+                        self.bump();
+                    }
+                }
+            }
+        }
+        if !row.is_empty() {
+            rows.push(row);
+        }
+        self.matrix_mode.pop();
+        let end = self.expect(&TokenKind::RBracket).span;
+        Expr::Matrix {
+            rows,
+            span: start.to(end),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(src: &str) -> Program {
+        let (p, diags) = parse(src);
+        assert!(
+            !diags.has_errors(),
+            "unexpected errors for {src:?}: {:?}",
+            diags.into_vec()
+        );
+        p
+    }
+
+    fn parse_expr_ok(src: &str) -> Expr {
+        let p = parse_ok(src);
+        match p.script.into_iter().next().expect("one statement") {
+            Stmt::ExprStmt { expr, .. } => expr,
+            other => panic!("expected expression statement, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let e = parse_expr_ok("1 + 2 * 3");
+        match e {
+            Expr::Binary {
+                op: BinOp::Add,
+                rhs,
+                ..
+            } => {
+                assert!(matches!(
+                    *rhs,
+                    Expr::Binary {
+                        op: BinOp::MatMul,
+                        ..
+                    }
+                ));
+            }
+            other => panic!("bad tree: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn range_binds_looser_than_add() {
+        // `1:n-1` must parse as 1:(n-1).
+        let e = parse_expr_ok("1:n-1");
+        match e {
+            Expr::Range { stop, .. } => {
+                assert!(matches!(*stop, Expr::Binary { op: BinOp::Sub, .. }));
+            }
+            other => panic!("bad tree: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn range_binds_tighter_than_comparison() {
+        // `x < 1:3` parses as x < (1:3).
+        let e = parse_expr_ok("x < 1:3");
+        assert!(matches!(e, Expr::Binary { op: BinOp::Lt, .. }));
+    }
+
+    #[test]
+    fn three_part_range() {
+        let e = parse_expr_ok("0:0.5:10");
+        match e {
+            Expr::Range { step, .. } => assert!(step.is_some()),
+            other => panic!("bad tree: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn power_left_assoc() {
+        // MATLAB: 2^3^2 == 64.
+        let e = parse_expr_ok("2^3^2");
+        match e {
+            Expr::Binary {
+                op: BinOp::MatPow,
+                lhs,
+                ..
+            } => assert!(matches!(
+                *lhs,
+                Expr::Binary {
+                    op: BinOp::MatPow,
+                    ..
+                }
+            )),
+            other => panic!("bad tree: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unary_minus_binds_looser_than_power() {
+        // -x^2 == -(x^2)
+        let e = parse_expr_ok("-x^2");
+        match e {
+            Expr::Unary {
+                op: UnOp::Neg,
+                operand,
+                ..
+            } => assert!(matches!(
+                *operand,
+                Expr::Binary {
+                    op: BinOp::MatPow,
+                    ..
+                }
+            )),
+            other => panic!("bad tree: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn power_with_signed_exponent() {
+        let e = parse_expr_ok("2^-1");
+        assert!(matches!(
+            e,
+            Expr::Binary {
+                op: BinOp::MatPow,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn transpose_postfix() {
+        let e = parse_expr_ok("x'");
+        assert!(matches!(
+            e,
+            Expr::Transpose {
+                conjugate: true,
+                ..
+            }
+        ));
+        let e = parse_expr_ok("x.'");
+        assert!(matches!(
+            e,
+            Expr::Transpose {
+                conjugate: false,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn call_with_args() {
+        let e = parse_expr_ok("f(1, x, 2:3)");
+        match e {
+            Expr::Call { name, args, .. } => {
+                assert_eq!(name, "f");
+                assert_eq!(args.len(), 3);
+            }
+            other => panic!("bad tree: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn end_in_index() {
+        let e = parse_expr_ok("x(end-1)");
+        match e {
+            Expr::Call { args, .. } => {
+                assert!(matches!(&args[0], Expr::Binary { op: BinOp::Sub, .. }));
+            }
+            other => panic!("bad tree: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn end_outside_index_is_error() {
+        let (_, diags) = parse("x = end;");
+        assert!(diags.has_errors());
+    }
+
+    #[test]
+    fn colon_all_index() {
+        let e = parse_expr_ok("x(:, 2)");
+        match e {
+            Expr::Call { args, .. } => {
+                assert!(matches!(args[0], Expr::ColonAll { .. }));
+            }
+            other => panic!("bad tree: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn matrix_rows() {
+        let e = parse_expr_ok("[1 2; 3 4]");
+        match e {
+            Expr::Matrix { rows, .. } => {
+                assert_eq!(rows.len(), 2);
+                assert_eq!(rows[0].len(), 2);
+            }
+            other => panic!("bad tree: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn matrix_space_rule() {
+        // `[1 -2]` → two elements; `[1 - 2]` → one.
+        match parse_expr_ok("[1 -2]") {
+            Expr::Matrix { rows, .. } => assert_eq!(rows[0].len(), 2),
+            other => panic!("bad tree: {other:?}"),
+        }
+        match parse_expr_ok("[1 - 2]") {
+            Expr::Matrix { rows, .. } => assert_eq!(rows[0].len(), 1),
+            other => panic!("bad tree: {other:?}"),
+        }
+        match parse_expr_ok("[1-2]") {
+            Expr::Matrix { rows, .. } => assert_eq!(rows[0].len(), 1),
+            other => panic!("bad tree: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn space_rule_not_applied_in_nested_parens() {
+        // Inside parentheses the space rule is off: `[f(1, -2)]`.
+        match parse_expr_ok("[f(1, -2)]") {
+            Expr::Matrix { rows, .. } => {
+                assert_eq!(rows[0].len(), 1);
+            }
+            other => panic!("bad tree: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_matrix() {
+        match parse_expr_ok("[]") {
+            Expr::Matrix { rows, .. } => assert!(rows.is_empty()),
+            other => panic!("bad tree: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn assignment_forms() {
+        let p = parse_ok("x = 1;\nx(3) = 2;\nx(1, 2) = 5;");
+        assert_eq!(p.script.len(), 3);
+        assert!(matches!(
+            &p.script[1],
+            Stmt::Assign {
+                target: LValue::Index { .. },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn multi_assignment() {
+        let p = parse_ok("[q, r] = deal(1, 2);");
+        match &p.script[0] {
+            Stmt::MultiAssign { targets, .. } => {
+                assert_eq!(targets.len(), 2);
+                assert!(targets.iter().all(|t| t.is_some()));
+            }
+            other => panic!("bad stmt: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multi_assignment_with_discard() {
+        let p = parse_ok("[~, i] = max(x);");
+        match &p.script[0] {
+            Stmt::MultiAssign { targets, .. } => {
+                assert!(targets[0].is_none());
+                assert!(targets[1].is_some());
+            }
+            other => panic!("bad stmt: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bracket_expression_statement_is_not_multiassign() {
+        let p = parse_ok("[1, 2];");
+        assert!(matches!(&p.script[0], Stmt::ExprStmt { .. }));
+    }
+
+    #[test]
+    fn if_elseif_else() {
+        let p = parse_ok("if a > 0\n x = 1;\nelseif a < 0\n x = 2;\nelse\n x = 3;\nend");
+        match &p.script[0] {
+            Stmt::If {
+                arms, else_body, ..
+            } => {
+                assert_eq!(arms.len(), 2);
+                assert!(else_body.is_some());
+            }
+            other => panic!("bad stmt: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn for_loop() {
+        let p = parse_ok("for i = 1:10\n s = s + i;\nend");
+        match &p.script[0] {
+            Stmt::For { var, body, .. } => {
+                assert_eq!(var, "i");
+                assert_eq!(body.len(), 1);
+            }
+            other => panic!("bad stmt: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn while_loop_with_break() {
+        let p = parse_ok("while 1\n break\nend");
+        match &p.script[0] {
+            Stmt::While { body, .. } => assert!(matches!(body[0], Stmt::Break(_))),
+            other => panic!("bad stmt: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn function_definition() {
+        let p = parse_ok("function [y, n] = f(a, b)\ny = a + b;\nn = a - b;\nend");
+        let f = &p.functions[0];
+        assert_eq!(f.name, "f");
+        assert_eq!(f.params, vec!["a", "b"]);
+        assert_eq!(f.outputs, vec!["y", "n"]);
+        assert_eq!(f.body.len(), 2);
+    }
+
+    #[test]
+    fn function_without_trailing_end() {
+        let p = parse_ok("function y = f(x)\ny = x;");
+        assert_eq!(p.functions.len(), 1);
+    }
+
+    #[test]
+    fn multiple_functions() {
+        let p = parse_ok(
+            "function y = main(x)\ny = helper(x) + 1;\nend\nfunction z = helper(x)\nz = 2 * x;\nend",
+        );
+        assert_eq!(p.functions.len(), 2);
+        assert_eq!(p.functions[1].name, "helper");
+    }
+
+    #[test]
+    fn function_no_outputs() {
+        let p = parse_ok("function show(x)\ndisp(x);\nend");
+        assert!(p.functions[0].outputs.is_empty());
+    }
+
+    #[test]
+    fn nested_loops_with_end_in_index() {
+        let p = parse_ok(
+            "for i = 1:n\n  for j = 1:m\n    c(i, j) = a(i, end) + 1;\n  end\nend",
+        );
+        assert_eq!(p.script.len(), 1);
+    }
+
+    #[test]
+    fn anonymous_function() {
+        let e = parse_expr_ok("@(x) x.^2 + 1");
+        match e {
+            Expr::AnonFn { params, .. } => assert_eq!(params, vec!["x"]),
+            other => panic!("bad tree: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn function_handle() {
+        let e = parse_expr_ok("@sin");
+        assert!(matches!(e, Expr::FnHandle { .. }));
+    }
+
+    #[test]
+    fn logical_precedence() {
+        // `a & b | c` is `(a & b) | c`; `a && b || c` is `(a && b) || c`.
+        let e = parse_expr_ok("a & b | c");
+        assert!(matches!(e, Expr::Binary { op: BinOp::Or, .. }));
+        let e = parse_expr_ok("a && b || c");
+        assert!(matches!(e, Expr::Binary { op: BinOp::OrOr, .. }));
+    }
+
+    #[test]
+    fn complex_literal_expression() {
+        let e = parse_expr_ok("3 + 4i");
+        assert!(matches!(e, Expr::Binary { op: BinOp::Add, .. }));
+    }
+
+    #[test]
+    fn parse_error_recovers_to_next_statement() {
+        let (p, diags) = parse("x = ;\ny = 2;");
+        assert!(diags.has_errors());
+        // Second statement still parsed.
+        assert!(p
+            .script
+            .iter()
+            .any(|s| matches!(s, Stmt::Assign { target, .. } if target.name() == "y")));
+    }
+
+    #[test]
+    fn comma_separates_statements() {
+        let p = parse_ok("a = 1, b = 2");
+        assert_eq!(p.script.len(), 2);
+    }
+
+    #[test]
+    fn suppression_flag() {
+        let p = parse_ok("a = 1;\nb = 2");
+        match (&p.script[0], &p.script[1]) {
+            (
+                Stmt::Assign {
+                    suppressed: s1, ..
+                },
+                Stmt::Assign {
+                    suppressed: s2, ..
+                },
+            ) => {
+                assert!(*s1);
+                assert!(!*s2);
+            }
+            other => panic!("bad stmts: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn global_statement() {
+        let p = parse_ok("global counter total");
+        match &p.script[0] {
+            Stmt::Global { names, .. } => assert_eq!(names.len(), 2),
+            other => panic!("bad stmt: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn script_before_functions() {
+        let p = parse_ok("x = 1;\ny = f(x);\nfunction y = f(x)\ny = x + 1;\nend");
+        assert_eq!(p.script.len(), 2);
+        assert_eq!(p.functions.len(), 1);
+    }
+
+    #[test]
+    fn line_continuation_in_statement() {
+        let p = parse_ok("x = 1 + ...\n 2;");
+        assert_eq!(p.script.len(), 1);
+    }
+}

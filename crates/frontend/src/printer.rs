@@ -1,0 +1,316 @@
+//! Pretty-printer: AST back to MATLAB surface syntax.
+//!
+//! Used for debugging dumps and for the parse → print → reparse round-trip
+//! property tests. Output is fully parenthesized where precedence could be
+//! ambiguous, so the round trip is structure-preserving.
+
+use crate::ast::*;
+use std::fmt::Write as _;
+
+/// Renders a whole program as MATLAB source.
+pub fn print_program(program: &Program) -> String {
+    let mut out = String::new();
+    for stmt in &program.script {
+        print_stmt(&mut out, stmt, 0);
+    }
+    for (i, f) in program.functions.iter().enumerate() {
+        if i > 0 || !program.script.is_empty() {
+            out.push('\n');
+        }
+        print_function(&mut out, f);
+    }
+    out
+}
+
+/// Renders one function definition.
+pub fn print_function(out: &mut String, f: &Function) {
+    out.push_str("function ");
+    match f.outputs.len() {
+        0 => {}
+        1 => {
+            let _ = write!(out, "{} = ", f.outputs[0]);
+        }
+        _ => {
+            let _ = write!(out, "[{}] = ", f.outputs.join(", "));
+        }
+    }
+    let _ = write!(out, "{}({})\n", f.name, f.params.join(", "));
+    for stmt in &f.body {
+        print_stmt(out, stmt, 1);
+    }
+    out.push_str("end\n");
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("    ");
+    }
+}
+
+/// Renders one statement at the given indentation level.
+pub fn print_stmt(out: &mut String, stmt: &Stmt, level: usize) {
+    indent(out, level);
+    match stmt {
+        Stmt::Assign {
+            target,
+            value,
+            suppressed,
+            ..
+        } => {
+            print_lvalue(out, target);
+            out.push_str(" = ");
+            print_expr(out, value);
+            if *suppressed {
+                out.push(';');
+            }
+            out.push('\n');
+        }
+        Stmt::MultiAssign {
+            targets,
+            call,
+            suppressed,
+            ..
+        } => {
+            out.push('[');
+            for (i, t) in targets.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                match t {
+                    Some(lv) => print_lvalue(out, lv),
+                    None => out.push('~'),
+                }
+            }
+            out.push_str("] = ");
+            print_expr(out, call);
+            if *suppressed {
+                out.push(';');
+            }
+            out.push('\n');
+        }
+        Stmt::ExprStmt {
+            expr, suppressed, ..
+        } => {
+            print_expr(out, expr);
+            if *suppressed {
+                out.push(';');
+            }
+            out.push('\n');
+        }
+        Stmt::If {
+            arms, else_body, ..
+        } => {
+            for (i, (cond, body)) in arms.iter().enumerate() {
+                if i == 0 {
+                    out.push_str("if ");
+                } else {
+                    indent(out, level);
+                    out.push_str("elseif ");
+                }
+                print_expr(out, cond);
+                out.push('\n');
+                for s in body {
+                    print_stmt(out, s, level + 1);
+                }
+            }
+            if let Some(body) = else_body {
+                indent(out, level);
+                out.push_str("else\n");
+                for s in body {
+                    print_stmt(out, s, level + 1);
+                }
+            }
+            indent(out, level);
+            out.push_str("end\n");
+        }
+        Stmt::For {
+            var, iter, body, ..
+        } => {
+            let _ = write!(out, "for {var} = ");
+            print_expr(out, iter);
+            out.push('\n');
+            for s in body {
+                print_stmt(out, s, level + 1);
+            }
+            indent(out, level);
+            out.push_str("end\n");
+        }
+        Stmt::While { cond, body, .. } => {
+            out.push_str("while ");
+            print_expr(out, cond);
+            out.push('\n');
+            for s in body {
+                print_stmt(out, s, level + 1);
+            }
+            indent(out, level);
+            out.push_str("end\n");
+        }
+        Stmt::Break(_) => out.push_str("break\n"),
+        Stmt::Continue(_) => out.push_str("continue\n"),
+        Stmt::Return(_) => out.push_str("return\n"),
+        Stmt::Global { names, .. } => {
+            let _ = write!(out, "global {}\n", names.join(" "));
+        }
+    }
+}
+
+fn print_lvalue(out: &mut String, lv: &LValue) {
+    match lv {
+        LValue::Name { name, .. } => out.push_str(name),
+        LValue::Index { name, indices, .. } => {
+            out.push_str(name);
+            out.push('(');
+            for (i, e) in indices.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                print_expr(out, e);
+            }
+            out.push(')');
+        }
+    }
+}
+
+/// Renders one expression (fully parenthesized at ambiguity points).
+pub fn print_expr(out: &mut String, expr: &Expr) {
+    match expr {
+        Expr::Number { value, .. } => {
+            let _ = write!(out, "{}", format_number(*value));
+        }
+        Expr::Imaginary { value, .. } => {
+            let _ = write!(out, "{}i", format_number(*value));
+        }
+        Expr::Str { value, .. } => {
+            let _ = write!(out, "'{}'", value.replace('\'', "''"));
+        }
+        Expr::Ident { name, .. } => out.push_str(name),
+        Expr::Call { name, args, .. } => {
+            out.push_str(name);
+            out.push('(');
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                print_expr(out, a);
+            }
+            out.push(')');
+        }
+        Expr::Binary { op, lhs, rhs, .. } => {
+            out.push('(');
+            print_expr(out, lhs);
+            let _ = write!(out, " {op} ");
+            print_expr(out, rhs);
+            out.push(')');
+        }
+        Expr::Unary { op, operand, .. } => {
+            out.push('(');
+            let _ = write!(out, "{op}");
+            print_expr(out, operand);
+            out.push(')');
+        }
+        Expr::Transpose {
+            operand, conjugate, ..
+        } => {
+            out.push('(');
+            print_expr(out, operand);
+            out.push_str(if *conjugate { "'" } else { ".'" });
+            out.push(')');
+        }
+        Expr::Range {
+            start, step, stop, ..
+        } => {
+            out.push('(');
+            print_expr(out, start);
+            out.push(':');
+            if let Some(s) = step {
+                print_expr(out, s);
+                out.push(':');
+            }
+            print_expr(out, stop);
+            out.push(')');
+        }
+        Expr::ColonAll { .. } => out.push(':'),
+        Expr::EndKeyword { .. } => out.push_str("end"),
+        Expr::Matrix { rows, .. } => {
+            out.push('[');
+            for (i, row) in rows.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("; ");
+                }
+                for (j, e) in row.iter().enumerate() {
+                    if j > 0 {
+                        out.push_str(", ");
+                    }
+                    print_expr(out, e);
+                }
+            }
+            out.push(']');
+        }
+        Expr::AnonFn { params, body, .. } => {
+            let _ = write!(out, "@({}) ", params.join(", "));
+            print_expr(out, body);
+        }
+        Expr::FnHandle { name, .. } => {
+            let _ = write!(out, "@{name}");
+        }
+    }
+}
+
+/// Formats a float the way MATLAB source would write it, keeping exactness.
+fn format_number(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        // `{:?}` for f64 is the shortest representation that round-trips.
+        format!("{v:?}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn round_trip(src: &str) {
+        let (p1, d1) = parse(src);
+        assert!(!d1.has_errors(), "first parse failed for {src:?}");
+        let printed = print_program(&p1);
+        let (p2, d2) = parse(&printed);
+        assert!(
+            !d2.has_errors(),
+            "reparse failed for printed source:\n{printed}"
+        );
+        let reprinted = print_program(&p2);
+        assert_eq!(printed, reprinted, "printer not a fixpoint for {src:?}");
+    }
+
+    #[test]
+    fn round_trip_statements() {
+        round_trip("x = 1;\ny = x + 2;");
+        round_trip("for i = 1:10\n a(i) = i^2;\nend");
+        round_trip("if x > 0\n y = 1;\nelse\n y = -1;\nend");
+        round_trip("while n > 1\n n = n / 2;\nend");
+    }
+
+    #[test]
+    fn round_trip_functions() {
+        round_trip("function y = f(x)\ny = 2 * x;\nend");
+        round_trip("function [a, b] = swap(x, y)\na = y;\nb = x;\nend");
+    }
+
+    #[test]
+    fn round_trip_expressions() {
+        round_trip("z = (3 + 4i) * conj(w);");
+        round_trip("m = [1 2; 3 4]';");
+        round_trip("v = x(1:2:end);");
+        round_trip("s = sum(a .* b);");
+        round_trip("h = @(t) exp(-t) .* cos(t);");
+    }
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(format_number(3.0), "3");
+        assert_eq!(format_number(0.5), "0.5");
+        assert_eq!(format_number(-2.0), "-2");
+    }
+}

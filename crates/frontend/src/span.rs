@@ -1,0 +1,178 @@
+//! Byte-offset source spans and line/column resolution.
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into a source buffer.
+///
+/// Spans are attached to every token and AST node so that diagnostics in any
+/// later compiler stage can point back at concrete source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: u32,
+    /// Byte offset one past the last character.
+    pub end: u32,
+}
+
+impl Span {
+    /// Creates a span covering `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end < start`.
+    pub fn new(start: u32, end: u32) -> Self {
+        assert!(end >= start, "span end before start");
+        Span { start, end }
+    }
+
+    /// A zero-length span at offset 0, used for synthesized nodes.
+    pub fn dummy() -> Self {
+        Span { start: 0, end: 0 }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// Length of the span in bytes.
+    pub fn len(self) -> usize {
+        (self.end - self.start) as usize
+    }
+
+    /// Whether the span covers zero bytes.
+    pub fn is_empty(self) -> bool {
+        self.start == self.end
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// 1-based line/column position resolved from a [`Span`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LineCol {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number (in bytes).
+    pub col: u32,
+}
+
+impl fmt::Display for LineCol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Maps byte offsets in one source buffer to line/column positions.
+///
+/// # Examples
+///
+/// ```
+/// use matic_frontend::span::{SourceMap, Span};
+///
+/// let map = SourceMap::new("a = 1;\nb = 2;");
+/// let pos = map.line_col(7);
+/// assert_eq!((pos.line, pos.col), (2, 1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SourceMap {
+    src: String,
+    /// Byte offsets at which each line starts.
+    line_starts: Vec<u32>,
+}
+
+impl SourceMap {
+    /// Builds a map over `src`, recording every line start.
+    pub fn new(src: impl Into<String>) -> Self {
+        let src = src.into();
+        let mut line_starts = vec![0u32];
+        for (i, b) in src.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i as u32 + 1);
+            }
+        }
+        SourceMap { src, line_starts }
+    }
+
+    /// The underlying source text.
+    pub fn source(&self) -> &str {
+        &self.src
+    }
+
+    /// Resolves a byte offset to a 1-based line/column pair.
+    ///
+    /// Offsets past the end of the buffer clamp to the final position.
+    pub fn line_col(&self, offset: u32) -> LineCol {
+        let offset = offset.min(self.src.len() as u32);
+        let line_idx = match self.line_starts.binary_search(&offset) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        LineCol {
+            line: line_idx as u32 + 1,
+            col: offset - self.line_starts[line_idx] + 1,
+        }
+    }
+
+    /// The source text covered by `span`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the span is not on a UTF-8 character boundary or out of
+    /// range.
+    pub fn snippet(&self, span: Span) -> &str {
+        &self.src[span.start as usize..span.end as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_join_covers_both() {
+        let a = Span::new(2, 5);
+        let b = Span::new(7, 9);
+        assert_eq!(a.to(b), Span::new(2, 9));
+        assert_eq!(b.to(a), Span::new(2, 9));
+    }
+
+    #[test]
+    fn line_col_first_line() {
+        let m = SourceMap::new("abc");
+        assert_eq!(m.line_col(0), LineCol { line: 1, col: 1 });
+        assert_eq!(m.line_col(2), LineCol { line: 1, col: 3 });
+    }
+
+    #[test]
+    fn line_col_after_newlines() {
+        let m = SourceMap::new("x\ny\nz");
+        assert_eq!(m.line_col(2), LineCol { line: 2, col: 1 });
+        assert_eq!(m.line_col(4), LineCol { line: 3, col: 1 });
+    }
+
+    #[test]
+    fn line_col_clamps_past_end() {
+        let m = SourceMap::new("ab");
+        assert_eq!(m.line_col(99), LineCol { line: 1, col: 3 });
+    }
+
+    #[test]
+    fn snippet_extracts_text() {
+        let m = SourceMap::new("hello world");
+        assert_eq!(m.snippet(Span::new(6, 11)), "world");
+    }
+
+    #[test]
+    fn empty_source() {
+        let m = SourceMap::new("");
+        assert_eq!(m.line_col(0), LineCol { line: 1, col: 1 });
+    }
+}

@@ -1,0 +1,243 @@
+//! Token definitions for the MATLAB-subset lexer.
+
+use crate::span::Span;
+use std::fmt;
+
+/// The kind of a lexed token.
+///
+/// Literal payloads (numbers, identifiers, strings) are carried inline so a
+/// token stream is self-contained and the parser never re-reads source text.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Numeric literal, e.g. `3`, `2.5`, `1e-3`. Value is the real part.
+    Number(f64),
+    /// Imaginary numeric literal, e.g. `2i`, `1.5j`.
+    Imaginary(f64),
+    /// Identifier or keyword candidate that is not reserved, e.g. `foo`.
+    Ident(String),
+    /// Single-quoted character string, with doubled quotes unescaped.
+    Str(String),
+
+    // Keywords.
+    Function,
+    End,
+    If,
+    Elseif,
+    Else,
+    For,
+    While,
+    Break,
+    Continue,
+    Return,
+    Global,
+
+    // Punctuation and operators.
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    Comma,
+    Semicolon,
+    /// Statement-terminating newline (significant in MATLAB).
+    Newline,
+    Assign,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Backslash,
+    Caret,
+    DotStar,
+    DotSlash,
+    DotBackslash,
+    DotCaret,
+    /// `'` used as complex-conjugate transpose.
+    Transpose,
+    /// `.'` non-conjugate transpose.
+    DotTranspose,
+    Colon,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+    AndAnd,
+    OrOr,
+    Not,
+    At,
+    Dot,
+
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Keyword lookup for a raw identifier; `None` if not reserved.
+    pub fn keyword(ident: &str) -> Option<TokenKind> {
+        Some(match ident {
+            "function" => TokenKind::Function,
+            "end" => TokenKind::End,
+            "if" => TokenKind::If,
+            "elseif" => TokenKind::Elseif,
+            "else" => TokenKind::Else,
+            "for" => TokenKind::For,
+            "while" => TokenKind::While,
+            "break" => TokenKind::Break,
+            "continue" => TokenKind::Continue,
+            "return" => TokenKind::Return,
+            "global" => TokenKind::Global,
+            _ => return None,
+        })
+    }
+
+    /// Whether this token may directly precede a transpose quote
+    /// (the MATLAB rule that disambiguates `'` from a string opener).
+    pub fn allows_postfix_quote(&self) -> bool {
+        matches!(
+            self,
+            TokenKind::Number(_)
+                | TokenKind::Imaginary(_)
+                | TokenKind::Ident(_)
+                | TokenKind::RParen
+                | TokenKind::RBracket
+                | TokenKind::RBrace
+                | TokenKind::Transpose
+                | TokenKind::DotTranspose
+                | TokenKind::End
+        )
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Number(v) => write!(f, "{v}"),
+            TokenKind::Imaginary(v) => write!(f, "{v}i"),
+            TokenKind::Ident(s) => f.write_str(s),
+            TokenKind::Str(s) => write!(f, "'{}'", s.replace('\'', "''")),
+            TokenKind::Function => f.write_str("function"),
+            TokenKind::End => f.write_str("end"),
+            TokenKind::If => f.write_str("if"),
+            TokenKind::Elseif => f.write_str("elseif"),
+            TokenKind::Else => f.write_str("else"),
+            TokenKind::For => f.write_str("for"),
+            TokenKind::While => f.write_str("while"),
+            TokenKind::Break => f.write_str("break"),
+            TokenKind::Continue => f.write_str("continue"),
+            TokenKind::Return => f.write_str("return"),
+            TokenKind::Global => f.write_str("global"),
+            TokenKind::LParen => f.write_str("("),
+            TokenKind::RParen => f.write_str(")"),
+            TokenKind::LBracket => f.write_str("["),
+            TokenKind::RBracket => f.write_str("]"),
+            TokenKind::LBrace => f.write_str("{"),
+            TokenKind::RBrace => f.write_str("}"),
+            TokenKind::Comma => f.write_str(","),
+            TokenKind::Semicolon => f.write_str(";"),
+            TokenKind::Newline => f.write_str("\\n"),
+            TokenKind::Assign => f.write_str("="),
+            TokenKind::Plus => f.write_str("+"),
+            TokenKind::Minus => f.write_str("-"),
+            TokenKind::Star => f.write_str("*"),
+            TokenKind::Slash => f.write_str("/"),
+            TokenKind::Backslash => f.write_str("\\"),
+            TokenKind::Caret => f.write_str("^"),
+            TokenKind::DotStar => f.write_str(".*"),
+            TokenKind::DotSlash => f.write_str("./"),
+            TokenKind::DotBackslash => f.write_str(".\\"),
+            TokenKind::DotCaret => f.write_str(".^"),
+            TokenKind::Transpose => f.write_str("'"),
+            TokenKind::DotTranspose => f.write_str(".'"),
+            TokenKind::Colon => f.write_str(":"),
+            TokenKind::Eq => f.write_str("=="),
+            TokenKind::Ne => f.write_str("~="),
+            TokenKind::Lt => f.write_str("<"),
+            TokenKind::Le => f.write_str("<="),
+            TokenKind::Gt => f.write_str(">"),
+            TokenKind::Ge => f.write_str(">="),
+            TokenKind::And => f.write_str("&"),
+            TokenKind::Or => f.write_str("|"),
+            TokenKind::AndAnd => f.write_str("&&"),
+            TokenKind::OrOr => f.write_str("||"),
+            TokenKind::Not => f.write_str("~"),
+            TokenKind::At => f.write_str("@"),
+            TokenKind::Dot => f.write_str("."),
+            TokenKind::Eof => f.write_str("<eof>"),
+        }
+    }
+}
+
+/// A lexed token: kind plus source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// Where it was lexed from.
+    pub span: Span,
+    /// Whether horizontal whitespace immediately preceded this token.
+    ///
+    /// MATLAB matrix literals are space-sensitive (`[1 -2]` has two
+    /// elements, `[1 - 2]` has one); the parser consults this flag inside
+    /// `[...]` to apply that rule.
+    pub space_before: bool,
+}
+
+impl Token {
+    /// Creates a token with no preceding whitespace recorded.
+    pub fn new(kind: TokenKind, span: Span) -> Self {
+        Token {
+            kind,
+            span,
+            space_before: false,
+        }
+    }
+
+    /// Creates a token, recording whether whitespace preceded it.
+    pub fn with_space(kind: TokenKind, span: Span, space_before: bool) -> Self {
+        Token {
+            kind,
+            span,
+            space_before,
+        }
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_resolve() {
+        assert_eq!(TokenKind::keyword("for"), Some(TokenKind::For));
+        assert_eq!(TokenKind::keyword("forx"), None);
+        assert_eq!(TokenKind::keyword("Function"), None);
+    }
+
+    #[test]
+    fn postfix_quote_rule() {
+        assert!(TokenKind::Ident("x".into()).allows_postfix_quote());
+        assert!(TokenKind::RParen.allows_postfix_quote());
+        assert!(TokenKind::Number(1.0).allows_postfix_quote());
+        assert!(!TokenKind::Assign.allows_postfix_quote());
+        assert!(!TokenKind::Comma.allows_postfix_quote());
+        assert!(!TokenKind::LParen.allows_postfix_quote());
+    }
+
+    #[test]
+    fn display_round_trips_simple_tokens() {
+        assert_eq!(TokenKind::DotStar.to_string(), ".*");
+        assert_eq!(TokenKind::Ne.to_string(), "~=");
+        assert_eq!(TokenKind::Str("it''s".replace("''", "'")).to_string(), "'it''s'");
+    }
+}

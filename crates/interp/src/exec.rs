@@ -1,0 +1,1223 @@
+//! Tree-walking interpreter — the numerical oracle the compiler is tested
+//! against.
+
+use crate::builtins::{self, Host};
+use crate::cx::Cx;
+use crate::value::{Closure, Matrix, Value};
+use matic_frontend::ast::*;
+use matic_frontend::span::Span;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// A runtime error with the source span it occurred at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuntimeError {
+    /// What went wrong.
+    pub message: String,
+    /// Where it went wrong.
+    pub span: Span,
+}
+
+impl RuntimeError {
+    fn new(message: impl Into<String>, span: Span) -> Self {
+        RuntimeError {
+            message: message.into(),
+            span,
+        }
+    }
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "runtime error: {} at {}", self.message, self.span)
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// Control-flow result of executing a statement.
+enum Flow {
+    Normal,
+    Break,
+    Continue,
+    Return,
+}
+
+/// One call frame of local variables.
+#[derive(Default)]
+struct Frame {
+    vars: HashMap<String, Value>,
+}
+
+/// Deterministic xorshift64* random stream (MATLAB's `rand`/`randn`
+/// substitute; determinism matters more than the distribution's pedigree).
+struct Rng {
+    state: u64,
+    spare_gauss: Option<f64>,
+}
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng {
+            state: seed.max(1),
+            spare_gauss: None,
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn next_gauss(&mut self) -> f64 {
+        if let Some(g) = self.spare_gauss.take() {
+            return g;
+        }
+        // Box–Muller.
+        let u1 = self.next_f64().max(f64::MIN_POSITIVE);
+        let u2 = self.next_f64();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare_gauss = Some(r * theta.sin());
+        r * theta.cos()
+    }
+}
+
+/// The interpreter: owns a parsed [`Program`] and executes it.
+///
+/// # Examples
+///
+/// ```
+/// use matic_interp::Interpreter;
+/// use matic_interp::value::Value;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let src = "function y = twice(x)\ny = 2 * x;\nend";
+/// let (program, diags) = matic_frontend::parse(src);
+/// assert!(!diags.has_errors());
+/// let mut interp = Interpreter::new(program);
+/// let out = interp.call("twice", vec![Value::scalar(21.0)], 1)?;
+/// assert_eq!(out[0].as_matrix()?.as_real_scalar()?, 42.0);
+/// # Ok(())
+/// # }
+/// ```
+pub struct Interpreter {
+    program: Program,
+    globals: HashMap<String, Value>,
+    rng: Rng,
+    output: String,
+    fuel: u64,
+    /// Stack of `end` contexts: (extents per index position, total positions).
+    end_stack: Vec<(Vec<usize>, usize)>,
+    /// Script workspace (root frame), kept after `run_script`.
+    workspace: Frame,
+}
+
+impl Host for Interpreter {
+    fn next_rand(&mut self) -> f64 {
+        self.rng.next_f64()
+    }
+    fn next_randn(&mut self) -> f64 {
+        self.rng.next_gauss()
+    }
+    fn reseed(&mut self, seed: u64) {
+        self.rng = Rng::new(seed ^ 0x9E3779B97F4A7C15);
+    }
+    fn emit(&mut self, text: &str) {
+        self.output.push_str(text);
+    }
+}
+
+/// Default execution fuel (statements + expression nodes evaluated).
+pub const DEFAULT_FUEL: u64 = 200_000_000;
+
+impl Interpreter {
+    /// Creates an interpreter over a parsed program.
+    pub fn new(program: Program) -> Self {
+        Interpreter {
+            program,
+            globals: HashMap::new(),
+            rng: Rng::new(0x9E3779B97F4A7C15),
+            output: String::new(),
+            fuel: DEFAULT_FUEL,
+            end_stack: Vec::new(),
+            workspace: Frame::default(),
+        }
+    }
+
+    /// Parses and wraps `src`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first parse diagnostic as a [`RuntimeError`].
+    pub fn from_source(src: &str) -> Result<Self, RuntimeError> {
+        let (program, diags) = matic_frontend::parse(src);
+        if let Some(d) = diags.first_error() {
+            return Err(RuntimeError::new(d.message.clone(), d.span));
+        }
+        Ok(Self::new(program))
+    }
+
+    /// Limits execution steps; exceeded fuel raises a runtime error.
+    pub fn set_fuel(&mut self, fuel: u64) {
+        self.fuel = fuel;
+    }
+
+    /// Everything printed by `disp`/`fprintf`/unsuppressed statements so far.
+    pub fn output(&self) -> &str {
+        &self.output
+    }
+
+    /// Reads a variable from the script workspace.
+    pub fn var(&self, name: &str) -> Option<&Value> {
+        self.workspace.vars.get(name)
+    }
+
+    /// Sets a variable in the script workspace.
+    pub fn set_var(&mut self, name: impl Into<String>, value: Value) {
+        self.workspace.vars.insert(name.into(), value);
+    }
+
+    /// Runs the script part of the program in the workspace frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first runtime error raised.
+    pub fn run_script(&mut self) -> Result<(), RuntimeError> {
+        let stmts = std::mem::take(&mut self.program.script);
+        let mut frame = std::mem::take(&mut self.workspace);
+        let result = self.exec_block(&stmts, &mut frame);
+        self.workspace = frame;
+        self.program.script = stmts;
+        result.map(|_| ())
+    }
+
+    /// Calls a user-defined function (or builtin) by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns a runtime error for unknown names, arity mismatches or any
+    /// error raised while executing the body.
+    pub fn call(
+        &mut self,
+        name: &str,
+        args: Vec<Value>,
+        nargout: usize,
+    ) -> Result<Vec<Value>, RuntimeError> {
+        self.call_spanned(name, args, nargout, Span::dummy())
+    }
+
+    fn call_spanned(
+        &mut self,
+        name: &str,
+        args: Vec<Value>,
+        nargout: usize,
+        span: Span,
+    ) -> Result<Vec<Value>, RuntimeError> {
+        if let Some(func) = self.program.function(name) {
+            let func = func.clone();
+            return self.call_user(&func, args, nargout, span);
+        }
+        if builtins::is_builtin(name) {
+            return builtins::call_builtin(self, name, args, nargout)
+                .map_err(|m| RuntimeError::new(m, span));
+        }
+        Err(RuntimeError::new(
+            format!("undefined function or variable `{name}`"),
+            span,
+        ))
+    }
+
+    fn call_user(
+        &mut self,
+        func: &Function,
+        args: Vec<Value>,
+        nargout: usize,
+        span: Span,
+    ) -> Result<Vec<Value>, RuntimeError> {
+        if args.len() > func.params.len() {
+            return Err(RuntimeError::new(
+                format!(
+                    "too many inputs to `{}` ({} > {})",
+                    func.name,
+                    args.len(),
+                    func.params.len()
+                ),
+                span,
+            ));
+        }
+        let mut frame = Frame::default();
+        let nargin = args.len();
+        for (param, arg) in func.params.iter().zip(args) {
+            if param != "~" {
+                frame.vars.insert(param.clone(), arg);
+            }
+        }
+        frame.vars.insert("nargin".into(), Value::scalar(nargin as f64));
+        frame
+            .vars
+            .insert("nargout".into(), Value::scalar(nargout as f64));
+        self.exec_block(&func.body, &mut frame)?;
+        let wanted = nargout.max(usize::from(!func.outputs.is_empty()));
+        let mut outs = Vec::with_capacity(wanted);
+        for out_name in func.outputs.iter().take(wanted.max(1)) {
+            match frame.vars.get(out_name) {
+                Some(v) => outs.push(v.clone()),
+                None => {
+                    if outs.len() < nargout {
+                        return Err(RuntimeError::new(
+                            format!(
+                                "output argument `{out_name}` of `{}` not assigned",
+                                func.name
+                            ),
+                            span,
+                        ));
+                    }
+                    break;
+                }
+            }
+        }
+        Ok(outs)
+    }
+
+    fn burn(&mut self, span: Span) -> Result<(), RuntimeError> {
+        if self.fuel == 0 {
+            return Err(RuntimeError::new("execution fuel exhausted", span));
+        }
+        self.fuel -= 1;
+        Ok(())
+    }
+
+    fn exec_block(&mut self, stmts: &[Stmt], frame: &mut Frame) -> Result<Flow, RuntimeError> {
+        for stmt in stmts {
+            match self.exec_stmt(stmt, frame)? {
+                Flow::Normal => {}
+                flow => return Ok(flow),
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn exec_stmt(&mut self, stmt: &Stmt, frame: &mut Frame) -> Result<Flow, RuntimeError> {
+        self.burn(stmt.span())?;
+        match stmt {
+            Stmt::Assign {
+                target,
+                value,
+                suppressed,
+                ..
+            } => {
+                let v = self.eval(value, frame)?;
+                self.assign(target, v, frame)?;
+                if !*suppressed {
+                    self.display_var(target.name(), frame);
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::MultiAssign {
+                targets,
+                call,
+                suppressed,
+                span,
+            } => {
+                let outs = match call {
+                    Expr::Call { name, args, .. } => {
+                        self.eval_call_multi(name, args, targets.len(), frame, *span)?
+                    }
+                    other => vec![self.eval(other, frame)?],
+                };
+                if outs.len() < targets.iter().filter(|t| t.is_some()).count() {
+                    return Err(RuntimeError::new(
+                        "not enough output arguments",
+                        *span,
+                    ));
+                }
+                for (target, value) in targets.iter().zip(outs) {
+                    if let Some(t) = target {
+                        self.assign(t, value, frame)?;
+                        if !*suppressed {
+                            self.display_var(t.name(), frame);
+                        }
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::ExprStmt {
+                expr, suppressed, ..
+            } => {
+                let v = self.eval(expr, frame)?;
+                frame.vars.insert("ans".into(), v);
+                if !*suppressed {
+                    self.display_var("ans", frame);
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::If {
+                arms, else_body, ..
+            } => {
+                for (cond, body) in arms {
+                    let c = self.eval(cond, frame)?;
+                    let truthy = c.as_bool().map_err(|m| RuntimeError::new(m, cond.span()))?;
+                    if truthy {
+                        return self.exec_block(body, frame);
+                    }
+                }
+                if let Some(body) = else_body {
+                    return self.exec_block(body, frame);
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::For {
+                var, iter, body, ..
+            } => {
+                let seq = self
+                    .eval(iter, frame)?
+                    .into_matrix()
+                    .map_err(|m| RuntimeError::new(m, iter.span()))?;
+                // Iterate over columns for matrices, elements for vectors.
+                let items: Vec<Matrix> = if seq.rows() > 1 {
+                    (0..seq.cols()).map(|c| seq.column(c)).collect()
+                } else {
+                    seq.data().iter().map(|&z| Matrix::scalar(z)).collect()
+                };
+                for item in items {
+                    frame.vars.insert(var.clone(), Value::Num(item));
+                    match self.exec_block(body, frame)? {
+                        Flow::Break => break,
+                        Flow::Return => return Ok(Flow::Return),
+                        Flow::Continue | Flow::Normal => {}
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::While { cond, body, .. } => {
+                loop {
+                    self.burn(cond.span())?;
+                    let c = self.eval(cond, frame)?;
+                    let truthy = c.as_bool().map_err(|m| RuntimeError::new(m, cond.span()))?;
+                    if !truthy {
+                        break;
+                    }
+                    match self.exec_block(body, frame)? {
+                        Flow::Break => break,
+                        Flow::Return => return Ok(Flow::Return),
+                        Flow::Continue | Flow::Normal => {}
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::Break(_) => Ok(Flow::Break),
+            Stmt::Continue(_) => Ok(Flow::Continue),
+            Stmt::Return(_) => Ok(Flow::Return),
+            Stmt::Global { names, .. } => {
+                for n in names {
+                    let v = self
+                        .globals
+                        .get(n)
+                        .cloned()
+                        .unwrap_or(Value::Num(Matrix::empty()));
+                    frame.vars.insert(n.clone(), v);
+                }
+                Ok(Flow::Normal)
+            }
+        }
+    }
+
+    fn display_var(&mut self, name: &str, frame: &Frame) {
+        if let Some(v) = frame.vars.get(name) {
+            let text = format!("{name} = {v}\n");
+            self.output.push_str(&text);
+        }
+    }
+
+    fn assign(
+        &mut self,
+        target: &LValue,
+        value: Value,
+        frame: &mut Frame,
+    ) -> Result<(), RuntimeError> {
+        match target {
+            LValue::Name { name, .. } => {
+                frame.vars.insert(name.clone(), value);
+                Ok(())
+            }
+            LValue::Index {
+                name,
+                indices,
+                span,
+            } => {
+                let mut base = match frame.vars.get(name) {
+                    Some(Value::Num(m)) => m.clone(),
+                    Some(_) => {
+                        return Err(RuntimeError::new(
+                            format!("cannot index-assign non-matrix `{name}`"),
+                            *span,
+                        ))
+                    }
+                    None => Matrix::empty(),
+                };
+                let rhs = value
+                    .into_matrix()
+                    .map_err(|m| RuntimeError::new(m, *span))?;
+                match indices.len() {
+                    1 => {
+                        let idx = self.eval_index(
+                            &indices[0],
+                            frame,
+                            &[base.numel()],
+                            0,
+                            *span,
+                        )?;
+                        base.assign_linear(&idx, &rhs)
+                            .map_err(|m| RuntimeError::new(m, *span))?;
+                    }
+                    2 => {
+                        let extents = [base.rows(), base.cols()];
+                        let ri = self.eval_index(&indices[0], frame, &extents, 0, *span)?;
+                        let ci = self.eval_index(&indices[1], frame, &extents, 1, *span)?;
+                        base.assign_2d(&ri, &ci, &rhs)
+                            .map_err(|m| RuntimeError::new(m, *span))?;
+                    }
+                    n => {
+                        return Err(RuntimeError::new(
+                            format!("unsupported {n}-dimensional indexing"),
+                            *span,
+                        ))
+                    }
+                }
+                frame.vars.insert(name.clone(), Value::Num(base));
+                Ok(())
+            }
+        }
+    }
+
+    /// Evaluates an index expression, resolving `:` and `end` against the
+    /// extents of the array being indexed.
+    fn eval_index(
+        &mut self,
+        expr: &Expr,
+        frame: &mut Frame,
+        extents: &[usize],
+        position: usize,
+        span: Span,
+    ) -> Result<Matrix, RuntimeError> {
+        match expr {
+            Expr::ColonAll { .. } => {
+                let extent = if extents.len() == 1 {
+                    extents[0]
+                } else {
+                    extents[position]
+                };
+                Ok(Matrix::colon_index(extent))
+            }
+            _ => {
+                self.end_stack.push((extents.to_vec(), position));
+                let r = self.eval(expr, frame);
+                self.end_stack.pop();
+                let v = r?;
+                v.into_matrix().map_err(|m| RuntimeError::new(m, span))
+            }
+        }
+    }
+
+    fn eval_call_multi(
+        &mut self,
+        name: &str,
+        args: &[Expr],
+        nargout: usize,
+        frame: &mut Frame,
+        span: Span,
+    ) -> Result<Vec<Value>, RuntimeError> {
+        // A variable takes precedence: indexing yields a single output.
+        if frame.vars.contains_key(name) {
+            let v = self.eval(
+                &Expr::Call {
+                    name: name.to_string(),
+                    args: args.to_vec(),
+                    span,
+                },
+                frame,
+            )?;
+            return Ok(vec![v]);
+        }
+        let arg_vals = self.eval_args(args, frame)?;
+        self.call_spanned(name, arg_vals, nargout, span)
+    }
+
+    fn eval_args(&mut self, args: &[Expr], frame: &mut Frame) -> Result<Vec<Value>, RuntimeError> {
+        args.iter().map(|a| self.eval(a, frame)).collect()
+    }
+
+    /// Evaluates an expression to a value.
+    fn eval(&mut self, expr: &Expr, frame: &mut Frame) -> Result<Value, RuntimeError> {
+        self.burn(expr.span())?;
+        match expr {
+            Expr::Number { value, .. } => Ok(Value::scalar(*value)),
+            Expr::Imaginary { value, .. } => {
+                Ok(Value::Num(Matrix::scalar(Cx::new(0.0, *value))))
+            }
+            Expr::Str { value, .. } => Ok(Value::Str(value.clone())),
+            Expr::Ident { name, span } => {
+                if let Some(v) = frame.vars.get(name) {
+                    return Ok(v.clone());
+                }
+                self.call_spanned(name, vec![], 1, *span)
+                    .map(|mut outs| {
+                        if outs.is_empty() {
+                            Value::Num(Matrix::empty())
+                        } else {
+                            outs.swap_remove(0)
+                        }
+                    })
+            }
+            Expr::Call { name, args, span } => self.eval_call(name, args, frame, *span),
+            Expr::Binary { op, lhs, rhs, span } => {
+                if matches!(op, BinOp::AndAnd | BinOp::OrOr) {
+                    let l = self.eval(lhs, frame)?;
+                    let lb = l.as_bool().map_err(|m| RuntimeError::new(m, *span))?;
+                    let result = match op {
+                        BinOp::AndAnd => {
+                            if !lb {
+                                false
+                            } else {
+                                let r = self.eval(rhs, frame)?;
+                                r.as_bool().map_err(|m| RuntimeError::new(m, *span))?
+                            }
+                        }
+                        _ => {
+                            if lb {
+                                true
+                            } else {
+                                let r = self.eval(rhs, frame)?;
+                                r.as_bool().map_err(|m| RuntimeError::new(m, *span))?
+                            }
+                        }
+                    };
+                    return Ok(Value::Num(Matrix::logical_scalar(result)));
+                }
+                let l = self
+                    .eval(lhs, frame)?
+                    .into_matrix()
+                    .map_err(|m| RuntimeError::new(m, lhs.span()))?;
+                let r = self
+                    .eval(rhs, frame)?
+                    .into_matrix()
+                    .map_err(|m| RuntimeError::new(m, rhs.span()))?;
+                apply_binop(*op, &l, &r)
+                    .map(Value::Num)
+                    .map_err(|m| RuntimeError::new(m, *span))
+            }
+            Expr::Unary { op, operand, .. } => {
+                let v = self
+                    .eval(operand, frame)?
+                    .into_matrix()
+                    .map_err(|m| RuntimeError::new(m, operand.span()))?;
+                let out = match op {
+                    UnOp::Neg => v.map(|z| -z),
+                    UnOp::Plus => v,
+                    UnOp::Not => v
+                        .map(|z| Cx::real(if z.re == 0.0 && z.im == 0.0 { 1.0 } else { 0.0 }))
+                        .into_logical(),
+                };
+                Ok(Value::Num(out))
+            }
+            Expr::Transpose {
+                operand, conjugate, ..
+            } => {
+                let v = self
+                    .eval(operand, frame)?
+                    .into_matrix()
+                    .map_err(|m| RuntimeError::new(m, operand.span()))?;
+                Ok(Value::Num(v.transpose(*conjugate)))
+            }
+            Expr::Range {
+                start,
+                step,
+                stop,
+                span,
+            } => {
+                let s = self.eval_real(start, frame)?;
+                let e = self.eval_real(stop, frame)?;
+                let st = match step {
+                    Some(x) => self.eval_real(x, frame)?,
+                    None => 1.0,
+                };
+                let _ = span;
+                Ok(Value::Num(Matrix::range(s, st, e)))
+            }
+            Expr::ColonAll { span } => Err(RuntimeError::new(
+                "`:` is only valid inside an index",
+                *span,
+            )),
+            Expr::EndKeyword { span } => match self.end_stack.last() {
+                Some((extents, position)) => {
+                    let v = if extents.len() == 1 {
+                        extents[0]
+                    } else {
+                        extents[*position]
+                    };
+                    Ok(Value::scalar(v as f64))
+                }
+                None => Err(RuntimeError::new(
+                    "`end` used outside an index expression",
+                    *span,
+                )),
+            },
+            Expr::Matrix { rows, span } => self.eval_matrix(rows, frame, *span),
+            Expr::AnonFn { params, body, .. } => {
+                // Capture every currently bound variable that occurs free.
+                let mut captures = Vec::new();
+                body.walk(&mut |e| {
+                    if let Expr::Ident { name, .. } = e {
+                        if !params.contains(name) {
+                            if let Some(v) = frame.vars.get(name) {
+                                if !captures.iter().any(|(n, _): &(String, Value)| n == name) {
+                                    captures.push((name.clone(), v.clone()));
+                                }
+                            }
+                        }
+                    }
+                });
+                Ok(Value::Anon(Rc::new(Closure {
+                    params: params.clone(),
+                    body: (**body).clone(),
+                    captures,
+                })))
+            }
+            Expr::FnHandle { name, .. } => Ok(Value::FnHandle(name.clone())),
+        }
+    }
+
+    fn eval_real(&mut self, expr: &Expr, frame: &mut Frame) -> Result<f64, RuntimeError> {
+        self.eval(expr, frame)?
+            .into_matrix()
+            .and_then(|m| m.as_real_scalar())
+            .map_err(|m| RuntimeError::new(m, expr.span()))
+    }
+
+    fn eval_call(
+        &mut self,
+        name: &str,
+        args: &[Expr],
+        frame: &mut Frame,
+        span: Span,
+    ) -> Result<Value, RuntimeError> {
+        // 1. Variable: indexing, or invoking a stored function handle.
+        if let Some(v) = frame.vars.get(name).cloned() {
+            return match v {
+                Value::Num(m) => self.index_matrix(&m, args, frame, span).map(Value::Num),
+                Value::Str(s) => {
+                    let m = Value::Str(s)
+                        .into_matrix()
+                        .map_err(|m| RuntimeError::new(m, span))?;
+                    let picked = self.index_matrix(&m, args, frame, span)?;
+                    // Indexing a string yields a string.
+                    let text: String = picked
+                        .data()
+                        .iter()
+                        .map(|z| char::from_u32(z.re as u32).unwrap_or('?'))
+                        .collect();
+                    Ok(Value::Str(text))
+                }
+                Value::FnHandle(f) => {
+                    let vals = self.eval_args(args, frame)?;
+                    self.call_spanned(&f, vals, 1, span).map(|mut o| {
+                        if o.is_empty() {
+                            Value::Num(Matrix::empty())
+                        } else {
+                            o.swap_remove(0)
+                        }
+                    })
+                }
+                Value::Anon(closure) => {
+                    let vals = self.eval_args(args, frame)?;
+                    self.call_closure(&closure, vals, span)
+                }
+            };
+        }
+        // 2. `feval` special form.
+        if name == "feval" {
+            let mut vals = self.eval_args(args, frame)?;
+            if vals.is_empty() {
+                return Err(RuntimeError::new("feval: missing function", span));
+            }
+            let target = vals.remove(0);
+            return match target {
+                Value::FnHandle(f) => self.call_spanned(&f, vals, 1, span).map(|mut o| {
+                    if o.is_empty() {
+                        Value::Num(Matrix::empty())
+                    } else {
+                        o.swap_remove(0)
+                    }
+                }),
+                Value::Str(f) => self.call_spanned(&f, vals, 1, span).map(|mut o| {
+                    if o.is_empty() {
+                        Value::Num(Matrix::empty())
+                    } else {
+                        o.swap_remove(0)
+                    }
+                }),
+                Value::Anon(c) => self.call_closure(&c, vals, span),
+                Value::Num(_) => Err(RuntimeError::new("feval: not a function", span)),
+            };
+        }
+        // 3. User function / builtin.
+        let vals = self.eval_args(args, frame)?;
+        self.call_spanned(name, vals, 1, span).map(|mut outs| {
+            if outs.is_empty() {
+                Value::Num(Matrix::empty())
+            } else {
+                outs.swap_remove(0)
+            }
+        })
+    }
+
+    fn call_closure(
+        &mut self,
+        closure: &Closure,
+        args: Vec<Value>,
+        span: Span,
+    ) -> Result<Value, RuntimeError> {
+        if args.len() != closure.params.len() {
+            return Err(RuntimeError::new(
+                format!(
+                    "anonymous function expects {} arguments, got {}",
+                    closure.params.len(),
+                    args.len()
+                ),
+                span,
+            ));
+        }
+        let mut frame = Frame::default();
+        for (n, v) in &closure.captures {
+            frame.vars.insert(n.clone(), v.clone());
+        }
+        for (p, a) in closure.params.iter().zip(args) {
+            frame.vars.insert(p.clone(), a);
+        }
+        self.eval(&closure.body, &mut frame)
+    }
+
+    fn index_matrix(
+        &mut self,
+        base: &Matrix,
+        args: &[Expr],
+        frame: &mut Frame,
+        span: Span,
+    ) -> Result<Matrix, RuntimeError> {
+        match args.len() {
+            0 => Ok(base.clone()),
+            1 => {
+                let idx = self.eval_index(&args[0], frame, &[base.numel()], 0, span)?;
+                base.index_linear(&idx)
+                    .map_err(|m| RuntimeError::new(m, span))
+            }
+            2 => {
+                let extents = [base.rows(), base.cols()];
+                let ri = self.eval_index(&args[0], frame, &extents, 0, span)?;
+                let ci = self.eval_index(&args[1], frame, &extents, 1, span)?;
+                base.index_2d(&ri, &ci)
+                    .map_err(|m| RuntimeError::new(m, span))
+            }
+            n => Err(RuntimeError::new(
+                format!("unsupported {n}-dimensional indexing"),
+                span,
+            )),
+        }
+    }
+
+    fn eval_matrix(
+        &mut self,
+        rows: &[Vec<Expr>],
+        frame: &mut Frame,
+        span: Span,
+    ) -> Result<Value, RuntimeError> {
+        // Single row of strings concatenates to a string.
+        if rows.len() == 1 && !rows[0].is_empty() {
+            let mut all_str = true;
+            let mut vals = Vec::new();
+            for e in &rows[0] {
+                let v = self.eval(e, frame)?;
+                if !matches!(v, Value::Str(_)) {
+                    all_str = false;
+                }
+                vals.push(v);
+            }
+            if all_str {
+                let s: String = vals
+                    .into_iter()
+                    .map(|v| match v {
+                        Value::Str(s) => s,
+                        _ => unreachable!(),
+                    })
+                    .collect();
+                return Ok(Value::Str(s));
+            }
+            let mut acc = Matrix::empty();
+            for v in vals {
+                let m = v.into_matrix().map_err(|m| RuntimeError::new(m, span))?;
+                acc = acc.horzcat(&m).map_err(|m| RuntimeError::new(m, span))?;
+            }
+            return Ok(Value::Num(acc));
+        }
+        let mut acc = Matrix::empty();
+        for row in rows {
+            let mut row_acc = Matrix::empty();
+            for e in row {
+                let m = self
+                    .eval(e, frame)?
+                    .into_matrix()
+                    .map_err(|m| RuntimeError::new(m, e.span()))?;
+                row_acc = row_acc
+                    .horzcat(&m)
+                    .map_err(|m| RuntimeError::new(m, e.span()))?;
+            }
+            acc = acc
+                .vertcat(&row_acc)
+                .map_err(|m| RuntimeError::new(m, span))?;
+        }
+        Ok(Value::Num(acc))
+    }
+}
+
+/// Applies a (non-short-circuit) binary operator with MATLAB semantics.
+pub fn apply_binop(op: BinOp, l: &Matrix, r: &Matrix) -> Result<Matrix, String> {
+    match op {
+        BinOp::Add => l.zip(r, |a, b| a + b),
+        BinOp::Sub => l.zip(r, |a, b| a - b),
+        BinOp::ElemMul => l.zip(r, |a, b| a * b),
+        BinOp::ElemDiv => l.zip(r, |a, b| a / b),
+        BinOp::ElemLeftDiv => l.zip(r, |a, b| b / a),
+        BinOp::ElemPow => l.zip(r, Cx::powc),
+        BinOp::MatMul => l.matmul(r),
+        BinOp::MatDiv => {
+            if r.is_scalar() {
+                l.zip(r, |a, b| a / b)
+            } else {
+                Err("matrix right-division only supported for scalar divisors".to_string())
+            }
+        }
+        BinOp::MatLeftDiv => {
+            if l.is_scalar() {
+                l.zip(r, |a, b| b / a)
+            } else {
+                Err("matrix left-division only supported for scalar divisors".to_string())
+            }
+        }
+        BinOp::MatPow => {
+            if l.is_scalar() && r.is_scalar() {
+                Ok(Matrix::scalar(l.lin(0).powc(r.lin(0))))
+            } else {
+                Err("matrix power only supported for scalars".to_string())
+            }
+        }
+        BinOp::Eq => l.compare(r, |a, b| a == b),
+        BinOp::Ne => l.compare(r, |a, b| a != b),
+        BinOp::Lt => l.compare(r, |a, b| a.re < b.re),
+        BinOp::Le => l.compare(r, |a, b| a.re <= b.re),
+        BinOp::Gt => l.compare(r, |a, b| a.re > b.re),
+        BinOp::Ge => l.compare(r, |a, b| a.re >= b.re),
+        BinOp::And => l.compare(r, |a, b| {
+            (a.re != 0.0 || a.im != 0.0) && (b.re != 0.0 || b.im != 0.0)
+        }),
+        BinOp::Or => l.compare(r, |a, b| {
+            a.re != 0.0 || a.im != 0.0 || b.re != 0.0 || b.im != 0.0
+        }),
+        BinOp::AndAnd | BinOp::OrOr => {
+            Err("short-circuit operator applied to matrices".to_string())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Interpreter {
+        let mut i = Interpreter::from_source(src).expect("parse ok");
+        i.run_script().expect("run ok");
+        i
+    }
+
+    fn var_f64(i: &Interpreter, name: &str) -> f64 {
+        i.var(name)
+            .expect("var exists")
+            .as_matrix()
+            .unwrap()
+            .as_real_scalar()
+            .unwrap()
+    }
+
+    fn var_matrix<'a>(i: &'a Interpreter, name: &str) -> &'a Matrix {
+        i.var(name).expect("var exists").as_matrix().unwrap()
+    }
+
+    #[test]
+    fn arithmetic_script() {
+        let i = run("x = 2 + 3 * 4;");
+        assert_eq!(var_f64(&i, "x"), 14.0);
+    }
+
+    #[test]
+    fn matrix_literal_and_indexing() {
+        let i = run("a = [1 2; 3 4];\nb = a(2, 1);\nc = a(4);");
+        assert_eq!(var_f64(&i, "b"), 3.0);
+        assert_eq!(var_f64(&i, "c"), 4.0);
+    }
+
+    #[test]
+    fn colon_and_end() {
+        let i = run("v = 10:10:50;\na = v(end);\nb = v(end-1);\nc = v(2:end);");
+        assert_eq!(var_f64(&i, "a"), 50.0);
+        assert_eq!(var_f64(&i, "b"), 40.0);
+        assert_eq!(var_matrix(&i, "c").numel(), 4);
+    }
+
+    #[test]
+    fn colon_all_in_2d() {
+        let i = run("a = [1 2 3; 4 5 6];\nr = a(2, :);\nc = a(:, 2);");
+        assert_eq!(var_matrix(&i, "r").cols(), 3);
+        assert_eq!(var_matrix(&i, "r").lin(0).re, 4.0);
+        assert_eq!(var_matrix(&i, "c").rows(), 2);
+        assert_eq!(var_matrix(&i, "c").lin(1).re, 5.0);
+    }
+
+    #[test]
+    fn for_loop_accumulates() {
+        let i = run("s = 0;\nfor k = 1:10\n s = s + k;\nend");
+        assert_eq!(var_f64(&i, "s"), 55.0);
+    }
+
+    #[test]
+    fn for_loop_with_step() {
+        let i = run("s = 0;\nfor k = 10:-2:0\n s = s + k;\nend");
+        assert_eq!(var_f64(&i, "s"), 30.0);
+    }
+
+    #[test]
+    fn while_with_break_continue() {
+        let i = run(
+            "s = 0;\nk = 0;\nwhile 1\n k = k + 1;\n if k > 10\n  break\n end\n if mod(k, 2) == 0\n  continue\n end\n s = s + k;\nend",
+        );
+        assert_eq!(var_f64(&i, "s"), 25.0); // 1+3+5+7+9
+    }
+
+    #[test]
+    fn if_elseif_else() {
+        let i = run("x = -3;\nif x > 0\n s = 1;\nelseif x == 0\n s = 0;\nelse\n s = -1;\nend");
+        assert_eq!(var_f64(&i, "s"), -1.0);
+    }
+
+    #[test]
+    fn function_call_and_recursion() {
+        let src = "r = fact(5);\nfunction y = fact(n)\nif n <= 1\n y = 1;\nelse\n y = n * fact(n - 1);\nend\nend";
+        let i = run(src);
+        assert_eq!(var_f64(&i, "r"), 120.0);
+    }
+
+    #[test]
+    fn multi_output_function() {
+        let src = "[a, b] = swap(1, 2);\nfunction [x, y] = swap(p, q)\nx = q;\ny = p;\nend";
+        let i = run(src);
+        assert_eq!(var_f64(&i, "a"), 2.0);
+        assert_eq!(var_f64(&i, "b"), 1.0);
+    }
+
+    #[test]
+    fn complex_arithmetic() {
+        let i = run("z = (1 + 2i) * (3 - 1i);\nm = abs(z);");
+        let z = var_matrix(&i, "z").as_scalar().unwrap();
+        assert!(z.approx_eq(Cx::new(5.0, 5.0), 1e-12));
+        assert!((var_f64(&i, "m") - 50.0_f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transpose_conjugates() {
+        let i = run("v = [1+1i, 2];\nw = v';\nu = v.';");
+        assert_eq!(var_matrix(&i, "w").lin(0).im, -1.0);
+        assert_eq!(var_matrix(&i, "u").lin(0).im, 1.0);
+    }
+
+    #[test]
+    fn elementwise_vs_matrix_ops() {
+        let i = run("a = [1 2; 3 4];\ne = a .* a;\nm = a * a;");
+        assert_eq!(var_matrix(&i, "e").at(1, 1).re, 16.0);
+        assert_eq!(var_matrix(&i, "m").at(1, 1).re, 22.0);
+    }
+
+    #[test]
+    fn auto_grow_assignment() {
+        let i = run("x(3) = 5;\ny = length(x);");
+        assert_eq!(var_f64(&i, "y"), 3.0);
+        assert_eq!(var_matrix(&i, "x").lin(0).re, 0.0);
+    }
+
+    #[test]
+    fn indexed_assignment_2d() {
+        let i = run("a = zeros(2, 2);\na(1, 2) = 7;\na(2, :) = [8 9];");
+        let a = var_matrix(&i, "a");
+        assert_eq!(a.at(0, 1).re, 7.0);
+        assert_eq!(a.at(1, 0).re, 8.0);
+        assert_eq!(a.at(1, 1).re, 9.0);
+    }
+
+    #[test]
+    fn end_in_assignment_index() {
+        let i = run("x = 1:5;\nx(end) = 99;");
+        assert_eq!(var_matrix(&i, "x").lin(4).re, 99.0);
+    }
+
+    #[test]
+    fn logical_indexing_reads() {
+        let i = run("v = [5 -2 8 -1];\np = v(v > 0);");
+        let p = var_matrix(&i, "p");
+        assert_eq!(p.numel(), 2);
+        assert_eq!(p.lin(1).re, 8.0);
+    }
+
+    #[test]
+    fn short_circuit_and() {
+        // Without short circuit the second operand would error (index 0).
+        let i = run("x = [];\nif isempty(x) || x(1) > 0\n ok = 1;\nelse\n ok = 0;\nend");
+        assert_eq!(var_f64(&i, "ok"), 1.0);
+    }
+
+    #[test]
+    fn anonymous_function_captures() {
+        let i = run("k = 3;\nf = @(x) k * x;\ny = f(7);\nk = 100;\nz = f(7);");
+        assert_eq!(var_f64(&i, "y"), 21.0);
+        // Captured at definition time.
+        assert_eq!(var_f64(&i, "z"), 21.0);
+    }
+
+    #[test]
+    fn function_handles_and_feval() {
+        let src = "h = @sq;\na = h(4);\nb = feval(h, 5);\nfunction y = sq(x)\ny = x^2;\nend";
+        let i = run(src);
+        assert_eq!(var_f64(&i, "a"), 16.0);
+        assert_eq!(var_f64(&i, "b"), 25.0);
+    }
+
+    #[test]
+    fn nargin_is_visible() {
+        let src = "a = f(1);\nb = f(1, 2);\nfunction y = f(p, q)\ny = nargin;\nend";
+        let i = run(src);
+        assert_eq!(var_f64(&i, "a"), 1.0);
+        assert_eq!(var_f64(&i, "b"), 2.0);
+    }
+
+    #[test]
+    fn output_of_disp_and_fprintf() {
+        let i = run("disp('hello');\nfprintf('%d-%d\\n', 1, 2);");
+        assert_eq!(i.output(), "hello\n1-2\n");
+    }
+
+    #[test]
+    fn unsuppressed_assignment_displays() {
+        let i = run("x = 42");
+        assert!(i.output().contains("x = 42"));
+    }
+
+    #[test]
+    fn runtime_error_has_span() {
+        let mut i = Interpreter::from_source("x = [1 2] + [1 2 3];").unwrap();
+        let err = i.run_script().unwrap_err();
+        assert!(err.message.contains("dimensions"));
+        assert_ne!(err.span, Span::dummy());
+    }
+
+    #[test]
+    fn fuel_limit_stops_infinite_loop() {
+        let mut i = Interpreter::from_source("while 1\n x = 1;\nend").unwrap();
+        i.set_fuel(10_000);
+        let err = i.run_script().unwrap_err();
+        assert!(err.message.contains("fuel"));
+    }
+
+    #[test]
+    fn undefined_variable_errors() {
+        let mut i = Interpreter::from_source("y = no_such_thing + 1;").unwrap();
+        let err = i.run_script().unwrap_err();
+        assert!(err.message.contains("no_such_thing"));
+    }
+
+    #[test]
+    fn string_indexing() {
+        let i = run("s = 'hello';\nc = s(1);\nt = s(2:3);");
+        assert_eq!(i.var("c"), Some(&Value::Str("h".to_string())));
+        assert_eq!(i.var("t"), Some(&Value::Str("el".to_string())));
+    }
+
+    #[test]
+    fn matrix_of_ranges() {
+        let i = run("v = [1:3, 7];");
+        assert_eq!(var_matrix(&i, "v").numel(), 4);
+        assert_eq!(var_matrix(&i, "v").lin(3).re, 7.0);
+    }
+
+    #[test]
+    fn for_over_matrix_iterates_columns() {
+        let i = run("a = [1 2; 3 4];\ns = 0;\nfor col = a\n s = s + col(1);\nend");
+        assert_eq!(var_f64(&i, "s"), 3.0);
+    }
+
+    #[test]
+    fn call_entry_point_directly() {
+        let src = "function y = fir1(x)\ny = 2 * x;\nend";
+        let mut i = Interpreter::from_source(src).unwrap();
+        let outs = i
+            .call("fir1", vec![Value::scalar(10.0)], 1)
+            .expect("call ok");
+        assert_eq!(
+            outs[0].as_matrix().unwrap().as_real_scalar().unwrap(),
+            20.0
+        );
+    }
+
+    #[test]
+    fn global_variables_read() {
+        let mut i = Interpreter::from_source("global g\nx = g;").unwrap();
+        i.run_script().unwrap();
+        assert!(var_matrix(&i, "x").is_empty());
+    }
+
+    #[test]
+    fn power_operators() {
+        let i = run("a = 2^10;\nb = [1 2 3].^2;\nc = 2.^[1 2 3];");
+        assert_eq!(var_f64(&i, "a"), 1024.0);
+        assert_eq!(var_matrix(&i, "b").lin(2).re, 9.0);
+        assert_eq!(var_matrix(&i, "c").lin(2).re, 8.0);
+    }
+
+    #[test]
+    fn comparison_produces_logical() {
+        let i = run("m = [1 2 3] > 2;");
+        assert!(var_matrix(&i, "m").is_logical());
+        assert_eq!(var_matrix(&i, "m").lin(2).re, 1.0);
+    }
+
+    #[test]
+    fn multiassign_with_discard() {
+        let src = "[~, idx] = max([3 9 4]);";
+        let i = run(src);
+        assert_eq!(var_f64(&i, "idx"), 2.0);
+    }
+
+    #[test]
+    fn scalar_expansion_assignment() {
+        let i = run("x = zeros(1, 4);\nx(2:3) = 5;");
+        let x = var_matrix(&i, "x");
+        assert_eq!(x.lin(1).re, 5.0);
+        assert_eq!(x.lin(2).re, 5.0);
+        assert_eq!(x.lin(3).re, 0.0);
+    }
+}

@@ -1,0 +1,28 @@
+//! # matic-isa
+//!
+//! Parameterized instruction-set descriptions for ASIP targets — the
+//! retargetability mechanism of the DATE'16 paper this project reproduces.
+//! A target is *data*: an [`IsaSpec`] lists which custom-instruction
+//! classes exist (SIMD, complex arithmetic, MAC), the SIMD width, per-class
+//! cycle costs and the intrinsic-name prefix used in generated C. Specs
+//! serialize to JSON so adding a processor requires no code changes.
+//!
+//! # Examples
+//!
+//! ```
+//! use matic_isa::{IsaSpec, OpClass};
+//!
+//! let target = IsaSpec::dsp16();
+//! assert!(target.supports(OpClass::VComplexMac));
+//! assert_eq!(target.intrinsic_name(OpClass::VectorMac), "__asip_vmac");
+//!
+//! let json = target.to_json();
+//! let reloaded = IsaSpec::from_json(&json).expect("round-trips");
+//! assert_eq!(target, reloaded);
+//! ```
+
+pub mod op;
+pub mod spec;
+
+pub use op::OpClass;
+pub use spec::{CostModel, Features, IsaSpec};

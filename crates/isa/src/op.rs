@@ -1,0 +1,237 @@
+//! Operation classes an ASIP datapath can implement.
+//!
+//! Every instruction the compiler can emit — and every cost the simulator
+//! can charge — is keyed by an [`OpClass`]. The parameterized ISA
+//! description maps each class to availability and a cycle cost.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A machine operation class.
+///
+/// `Vector*` classes process one full SIMD word (the target's vector width
+/// in lanes) per issue; `Complex*` classes are the custom complex-arithmetic
+/// instructions the paper highlights; `VComplex*` are their vectorized
+/// combinations (a SIMD word of complex pairs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum OpClass {
+    // Scalar core (always present — any C-programmable processor has these).
+    /// Integer/float add, sub, logic, compares, moves.
+    ScalarAlu,
+    /// Scalar multiply.
+    ScalarMul,
+    /// Scalar divide.
+    ScalarDiv,
+    /// Scalar square root and other long-latency unary math.
+    ScalarSqrt,
+    /// Scalar transcendental (sin/cos/exp/log) — software or LUT assisted.
+    ScalarTrans,
+    /// Memory load.
+    Load,
+    /// Memory store.
+    Store,
+    /// Conditional/unconditional branch.
+    Branch,
+    /// Call/return overhead.
+    Call,
+
+    // SIMD custom instructions.
+    /// Vector element-wise add/sub/logic (one SIMD word).
+    VectorAlu,
+    /// Vector element-wise multiply.
+    VectorMul,
+    /// Vector element-wise divide.
+    VectorDiv,
+    /// Vector fused multiply-accumulate into an accumulator register.
+    VectorMac,
+    /// Horizontal reduction of an accumulator to a scalar (sum).
+    VectorRedAdd,
+    /// Horizontal min/max reduction.
+    VectorRedMinMax,
+    /// Vector load (one SIMD word).
+    VectorLoad,
+    /// Vector store (one SIMD word).
+    VectorStore,
+
+    // Complex-arithmetic custom instructions.
+    /// Complex add/sub (one complex pair per issue).
+    ComplexAdd,
+    /// Complex multiply (the classic 4-mul/2-add fused into one issue).
+    ComplexMul,
+    /// Complex multiply-accumulate.
+    ComplexMac,
+    /// Complex conjugate.
+    ComplexConj,
+
+    // Vectorized complex custom instructions.
+    /// SIMD word of complex adds.
+    VComplexAdd,
+    /// SIMD word of complex multiplies.
+    VComplexMul,
+    /// SIMD word of complex MACs.
+    VComplexMac,
+}
+
+impl OpClass {
+    /// Every operation class, in a stable order.
+    pub const ALL: &'static [OpClass] = &[
+        OpClass::ScalarAlu,
+        OpClass::ScalarMul,
+        OpClass::ScalarDiv,
+        OpClass::ScalarSqrt,
+        OpClass::ScalarTrans,
+        OpClass::Load,
+        OpClass::Store,
+        OpClass::Branch,
+        OpClass::Call,
+        OpClass::VectorAlu,
+        OpClass::VectorMul,
+        OpClass::VectorDiv,
+        OpClass::VectorMac,
+        OpClass::VectorRedAdd,
+        OpClass::VectorRedMinMax,
+        OpClass::VectorLoad,
+        OpClass::VectorStore,
+        OpClass::ComplexAdd,
+        OpClass::ComplexMul,
+        OpClass::ComplexMac,
+        OpClass::ComplexConj,
+        OpClass::VComplexAdd,
+        OpClass::VComplexMul,
+        OpClass::VComplexMac,
+    ];
+
+    /// Whether this class is a SIMD (multi-lane) custom instruction.
+    pub fn is_vector(self) -> bool {
+        matches!(
+            self,
+            OpClass::VectorAlu
+                | OpClass::VectorMul
+                | OpClass::VectorDiv
+                | OpClass::VectorMac
+                | OpClass::VectorRedAdd
+                | OpClass::VectorRedMinMax
+                | OpClass::VectorLoad
+                | OpClass::VectorStore
+                | OpClass::VComplexAdd
+                | OpClass::VComplexMul
+                | OpClass::VComplexMac
+        )
+    }
+
+    /// Whether this class operates on complex pairs.
+    pub fn is_complex(self) -> bool {
+        matches!(
+            self,
+            OpClass::ComplexAdd
+                | OpClass::ComplexMul
+                | OpClass::ComplexMac
+                | OpClass::ComplexConj
+                | OpClass::VComplexAdd
+                | OpClass::VComplexMul
+                | OpClass::VComplexMac
+        )
+    }
+
+    /// Whether this class always exists, even on a plain scalar core.
+    pub fn is_baseline(self) -> bool {
+        matches!(
+            self,
+            OpClass::ScalarAlu
+                | OpClass::ScalarMul
+                | OpClass::ScalarDiv
+                | OpClass::ScalarSqrt
+                | OpClass::ScalarTrans
+                | OpClass::Load
+                | OpClass::Store
+                | OpClass::Branch
+                | OpClass::Call
+        )
+    }
+
+    /// Short mnemonic used in intrinsic names and disassembly.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            OpClass::ScalarAlu => "alu",
+            OpClass::ScalarMul => "mul",
+            OpClass::ScalarDiv => "div",
+            OpClass::ScalarSqrt => "sqrt",
+            OpClass::ScalarTrans => "trans",
+            OpClass::Load => "ld",
+            OpClass::Store => "st",
+            OpClass::Branch => "br",
+            OpClass::Call => "call",
+            OpClass::VectorAlu => "vadd",
+            OpClass::VectorMul => "vmul",
+            OpClass::VectorDiv => "vdiv",
+            OpClass::VectorMac => "vmac",
+            OpClass::VectorRedAdd => "vredadd",
+            OpClass::VectorRedMinMax => "vredmm",
+            OpClass::VectorLoad => "vld",
+            OpClass::VectorStore => "vst",
+            OpClass::ComplexAdd => "cadd",
+            OpClass::ComplexMul => "cmul",
+            OpClass::ComplexMac => "cmac",
+            OpClass::ComplexConj => "cconj",
+            OpClass::VComplexAdd => "vcadd",
+            OpClass::VComplexMul => "vcmul",
+            OpClass::VComplexMac => "vcmac",
+        }
+    }
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_list_is_complete_and_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for op in OpClass::ALL {
+            assert!(seen.insert(*op), "duplicate {op}");
+        }
+        assert_eq!(OpClass::ALL.len(), 24);
+    }
+
+    #[test]
+    fn classification_is_consistent() {
+        for &op in OpClass::ALL {
+            if op.is_baseline() {
+                assert!(!op.is_vector(), "{op} baseline but vector");
+                assert!(!op.is_complex(), "{op} baseline but complex");
+            }
+        }
+        assert!(OpClass::VComplexMac.is_vector());
+        assert!(OpClass::VComplexMac.is_complex());
+        assert!(OpClass::ComplexMul.is_complex());
+        assert!(!OpClass::ComplexMul.is_vector());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        for &op in OpClass::ALL {
+            let s = serde_json::to_string(&op).unwrap();
+            let back: OpClass = serde_json::from_str(&s).unwrap();
+            assert_eq!(op, back);
+        }
+        assert_eq!(
+            serde_json::to_string(&OpClass::VComplexMul).unwrap(),
+            "\"v_complex_mul\""
+        );
+    }
+
+    #[test]
+    fn mnemonics_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for op in OpClass::ALL {
+            assert!(seen.insert(op.mnemonic()), "duplicate mnemonic {op}");
+        }
+    }
+}

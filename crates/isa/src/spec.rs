@@ -1,0 +1,381 @@
+//! The parameterized ISA description.
+//!
+//! The DATE'16 paper's key retargetability claim is that "the specialized
+//! instruction set of the target processor [is described] in a
+//! parameterized way allowing the support of any processor". [`IsaSpec`]
+//! is that description: which custom-instruction classes exist, the SIMD
+//! width, per-class cycle costs, and the intrinsic-name prefix used in the
+//! generated ANSI C. Specs serialize to JSON so new targets are data, not
+//! code.
+
+use crate::op::OpClass;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Which custom-instruction families a target implements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Features {
+    /// SIMD element-wise/reduction instructions (`vadd`, `vmul`, `vred*`…).
+    pub simd: bool,
+    /// Complex-arithmetic instructions (`cadd`, `cmul`, `cmac`, `cconj`).
+    pub complex: bool,
+    /// Multiply-accumulate instructions (`vmac`, `cmac`).
+    pub mac: bool,
+}
+
+impl Features {
+    /// Everything enabled.
+    pub fn all() -> Features {
+        Features {
+            simd: true,
+            complex: true,
+            mac: true,
+        }
+    }
+
+    /// Nothing enabled (plain scalar core).
+    pub fn none() -> Features {
+        Features {
+            simd: false,
+            complex: false,
+            mac: false,
+        }
+    }
+}
+
+/// Cycle costs per operation class.
+///
+/// Costs are *per issue*: a `VectorMul` costs `cost(VectorMul)` cycles and
+/// retires `vector_width` lane results, which is exactly how the custom
+/// instructions of the paper's ASIP amortize work.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CostModel {
+    costs: BTreeMap<OpClass, u32>,
+}
+
+impl CostModel {
+    /// A cost model with the default DSP-like latencies.
+    pub fn dsp_default() -> CostModel {
+        let mut costs = BTreeMap::new();
+        for &(op, c) in &[
+            (OpClass::ScalarAlu, 1),
+            (OpClass::ScalarMul, 2),
+            (OpClass::ScalarDiv, 8),
+            (OpClass::ScalarSqrt, 12),
+            (OpClass::ScalarTrans, 20),
+            (OpClass::Load, 1),
+            (OpClass::Store, 1),
+            (OpClass::Branch, 1),
+            (OpClass::Call, 4),
+            (OpClass::VectorAlu, 1),
+            (OpClass::VectorMul, 2),
+            (OpClass::VectorDiv, 10),
+            (OpClass::VectorMac, 2),
+            (OpClass::VectorRedAdd, 2),
+            (OpClass::VectorRedMinMax, 2),
+            (OpClass::VectorLoad, 1),
+            (OpClass::VectorStore, 1),
+            (OpClass::ComplexAdd, 1),
+            (OpClass::ComplexMul, 2),
+            (OpClass::ComplexMac, 2),
+            (OpClass::ComplexConj, 1),
+            (OpClass::VComplexAdd, 1),
+            (OpClass::VComplexMul, 2),
+            (OpClass::VComplexMac, 2),
+        ] {
+            costs.insert(op, c);
+        }
+        CostModel { costs }
+    }
+
+    /// Cycles charged per issue of `op`.
+    pub fn cost(&self, op: OpClass) -> u32 {
+        self.costs.get(&op).copied().unwrap_or(1)
+    }
+
+    /// Overrides the cost of one class.
+    pub fn set_cost(&mut self, op: OpClass, cycles: u32) {
+        self.costs.insert(op, cycles);
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::dsp_default()
+    }
+}
+
+/// A complete parameterized target description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IsaSpec {
+    /// Target name (used in reports and generated-file headers).
+    pub name: String,
+    /// One-line human description.
+    pub description: String,
+    /// SIMD lanes per vector register (1 = no SIMD datapath).
+    pub vector_width: usize,
+    /// Which custom-instruction families exist.
+    pub features: Features,
+    /// Cycle cost per operation class.
+    pub costs: CostModel,
+    /// Prefix for intrinsic functions in generated C (e.g. `__asip`).
+    pub intrinsic_prefix: String,
+}
+
+impl IsaSpec {
+    /// The paper-like DSP ASIP: 8-lane SIMD, complex arithmetic and MAC
+    /// custom instructions.
+    pub fn dsp16() -> IsaSpec {
+        IsaSpec {
+            name: "dsp16".to_string(),
+            description: "DSP-oriented ASIP with 8-lane SIMD, complex-arithmetic and MAC custom instructions".to_string(),
+            vector_width: 8,
+            features: Features::all(),
+            costs: CostModel::dsp_default(),
+            intrinsic_prefix: "__asip".to_string(),
+        }
+    }
+
+    /// A plain scalar core — the machine model for the MATLAB-Coder-like
+    /// baseline (no custom instructions at all).
+    pub fn scalar_baseline() -> IsaSpec {
+        IsaSpec {
+            name: "scalar".to_string(),
+            description: "plain scalar core without custom instructions (baseline)".to_string(),
+            vector_width: 1,
+            features: Features::none(),
+            costs: CostModel::dsp_default(),
+            intrinsic_prefix: "__asip".to_string(),
+        }
+    }
+
+    /// A `dsp16` variant with a different SIMD width (for the
+    /// width-sweep experiment).
+    pub fn with_width(width: usize) -> IsaSpec {
+        let mut spec = IsaSpec::dsp16();
+        spec.name = format!("dsp16_w{width}");
+        spec.vector_width = width.max(1);
+        if width <= 1 {
+            spec.features.simd = false;
+        }
+        spec
+    }
+
+    /// A `dsp16` variant with selected feature families (for the
+    /// ablation experiment).
+    pub fn with_features(features: Features) -> IsaSpec {
+        let mut spec = IsaSpec::dsp16();
+        spec.features = features;
+        spec.name = format!(
+            "dsp16{}{}{}",
+            if features.simd { "_simd" } else { "" },
+            if features.complex { "_cplx" } else { "" },
+            if features.mac { "_mac" } else { "" },
+        );
+        if spec.name == "dsp16" {
+            spec.name = "dsp16_none".to_string();
+        }
+        spec
+    }
+
+    /// Whether the target can issue `op` as a single custom instruction.
+    pub fn supports(&self, op: OpClass) -> bool {
+        if op.is_baseline() {
+            return true;
+        }
+        let f = self.features;
+        match op {
+            OpClass::VectorMac => f.simd && f.mac && self.vector_width > 1,
+            OpClass::ComplexMac => f.complex && f.mac,
+            OpClass::VComplexMac => f.simd && f.complex && f.mac && self.vector_width > 1,
+            OpClass::VComplexAdd | OpClass::VComplexMul => {
+                f.simd && f.complex && self.vector_width > 1
+            }
+            v if v.is_vector() => f.simd && self.vector_width > 1,
+            c if c.is_complex() => f.complex,
+            _ => true,
+        }
+    }
+
+    /// Cycles per issue of `op` on this target.
+    pub fn cost(&self, op: OpClass) -> u32 {
+        self.costs.cost(op)
+    }
+
+    /// The intrinsic function name the C backend emits for `op`
+    /// (e.g. `__asip_vmac`).
+    pub fn intrinsic_name(&self, op: OpClass) -> String {
+        format!("{}_{}", self.intrinsic_prefix, op.mnemonic())
+    }
+
+    /// Serializes the spec to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("IsaSpec serializes")
+    }
+
+    /// Parses a spec from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the serde error message when the JSON is malformed.
+    pub fn from_json(json: &str) -> Result<IsaSpec, String> {
+        serde_json::from_str(json).map_err(|e| e.to_string())
+    }
+
+    /// Validates internal consistency (width vs. features).
+    ///
+    /// # Errors
+    ///
+    /// Describes the first inconsistency found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.vector_width == 0 {
+            return Err("vector_width must be at least 1".to_string());
+        }
+        if self.features.simd && self.vector_width < 2 {
+            return Err("simd feature requires vector_width >= 2".to_string());
+        }
+        if self.name.is_empty() {
+            return Err("target name must not be empty".to_string());
+        }
+        if self.intrinsic_prefix.is_empty()
+            || !self
+                .intrinsic_prefix
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_')
+        {
+            return Err("intrinsic_prefix must be a C identifier fragment".to_string());
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for IsaSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (W={}, simd={}, complex={}, mac={})",
+            self.name,
+            self.vector_width,
+            self.features.simd,
+            self.features.complex,
+            self.features.mac
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dsp16_supports_everything() {
+        let t = IsaSpec::dsp16();
+        for &op in OpClass::ALL {
+            assert!(t.supports(op), "dsp16 should support {op}");
+        }
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn scalar_baseline_supports_only_baseline() {
+        let t = IsaSpec::scalar_baseline();
+        for &op in OpClass::ALL {
+            assert_eq!(t.supports(op), op.is_baseline(), "{op}");
+        }
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn feature_gating() {
+        let t = IsaSpec::with_features(Features {
+            simd: true,
+            complex: false,
+            mac: false,
+        });
+        assert!(t.supports(OpClass::VectorMul));
+        assert!(!t.supports(OpClass::VectorMac));
+        assert!(!t.supports(OpClass::ComplexMul));
+        assert!(!t.supports(OpClass::VComplexMul));
+
+        let t = IsaSpec::with_features(Features {
+            simd: false,
+            complex: true,
+            mac: true,
+        });
+        assert!(t.supports(OpClass::ComplexMul));
+        assert!(t.supports(OpClass::ComplexMac));
+        assert!(!t.supports(OpClass::VectorMul));
+        assert!(!t.supports(OpClass::VComplexMac));
+    }
+
+    #[test]
+    fn width_one_disables_simd() {
+        let t = IsaSpec::with_width(1);
+        assert!(!t.supports(OpClass::VectorMul));
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let t = IsaSpec::dsp16();
+        let json = t.to_json();
+        let back = IsaSpec::from_json(&json).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn json_is_human_editable() {
+        let json = IsaSpec::dsp16().to_json();
+        assert!(json.contains("\"vector_width\": 8"));
+        assert!(json.contains("\"complex_mul\""));
+    }
+
+    #[test]
+    fn malformed_json_errors() {
+        assert!(IsaSpec::from_json("{not json").is_err());
+    }
+
+    #[test]
+    fn validation_catches_bad_specs() {
+        let mut t = IsaSpec::dsp16();
+        t.vector_width = 0;
+        assert!(t.validate().is_err());
+
+        let mut t = IsaSpec::dsp16();
+        t.vector_width = 1; // but simd still claimed
+        assert!(t.validate().is_err());
+
+        let mut t = IsaSpec::dsp16();
+        t.intrinsic_prefix = "bad prefix!".to_string();
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn intrinsic_names() {
+        let t = IsaSpec::dsp16();
+        assert_eq!(t.intrinsic_name(OpClass::VectorMac), "__asip_vmac");
+        assert_eq!(t.intrinsic_name(OpClass::ComplexMul), "__asip_cmul");
+    }
+
+    #[test]
+    fn cost_override() {
+        let mut t = IsaSpec::dsp16();
+        assert_eq!(t.cost(OpClass::ScalarDiv), 8);
+        t.costs.set_cost(OpClass::ScalarDiv, 16);
+        assert_eq!(t.cost(OpClass::ScalarDiv), 16);
+    }
+
+    #[test]
+    fn ablation_names_are_distinct() {
+        let a = IsaSpec::with_features(Features::none());
+        let b = IsaSpec::with_features(Features::all());
+        let c = IsaSpec::with_features(Features {
+            simd: true,
+            complex: false,
+            mac: false,
+        });
+        assert_ne!(a.name, b.name);
+        assert_ne!(b.name, c.name);
+    }
+}

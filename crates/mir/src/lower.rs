@@ -1,0 +1,1234 @@
+//! AST → MIR lowering.
+//!
+//! Lowering consumes the sema [`Analysis`] so every register gets the
+//! inferred type, resolves the call-vs-index ambiguity with MATLAB's
+//! actual rule (a name is a variable iff it is assigned somewhere in the
+//! function), rewrites `end` into explicit `numel`/`size` queries, and
+//! flattens expressions to three-address form.
+
+use crate::ir::*;
+use matic_frontend::ast::{self, BinOp, Expr, LValue, UnOp};
+use matic_frontend::diag::DiagnosticBag;
+use matic_frontend::span::Span;
+use matic_sema::{builtin_nargout_types, builtin_result, Analysis, Class, Dim, Shape, Ty};
+use std::collections::{HashMap, HashSet};
+
+/// Lowers every analyzed function of `program` to MIR.
+///
+/// Functions never reached by the analysis entry point are skipped (they
+/// have no inferred signatures to lower against).
+pub fn lower_program(program: &ast::Program, analysis: &Analysis) -> (MirProgram, DiagnosticBag) {
+    let mut diags = DiagnosticBag::new();
+    let mut functions = Vec::new();
+    for f in &program.functions {
+        if analysis.function(&f.name).is_some() {
+            let (mir, fd) = lower_function(f, program, analysis);
+            diags.extend(fd);
+            functions.push(mir);
+        }
+    }
+    (MirProgram { functions }, diags)
+}
+
+/// Lowers one function.
+pub fn lower_function(
+    func: &ast::Function,
+    program: &ast::Program,
+    analysis: &Analysis,
+) -> (MirFunction, DiagnosticBag) {
+    let info = analysis
+        .function(&func.name)
+        .cloned()
+        .unwrap_or_else(|| matic_sema::FunctionInfo {
+            name: func.name.clone(),
+            params: vec![],
+            vars: HashMap::new(),
+            outputs: vec![],
+        });
+
+    // MATLAB's rule: a name is a variable iff assigned anywhere in the
+    // function (including as a parameter or output).
+    let mut assigned: HashSet<String> = HashSet::new();
+    assigned.extend(func.params.iter().cloned());
+    assigned.extend(func.outputs.iter().cloned());
+    collect_assigned(&func.body, &mut assigned);
+
+    let mut lx = Lowerer {
+        func: MirFunction::new(func.name.clone()),
+        program,
+        analysis,
+        info,
+        assigned,
+        map: HashMap::new(),
+        diags: DiagnosticBag::new(),
+        out: vec![Vec::new()],
+    };
+
+    for p in &func.params {
+        let ty = lx.info.var_ty(p);
+        let id = lx.func.add_var(p.clone(), ty);
+        lx.func.vars[id.0 as usize].is_param = true;
+        lx.func.params.push(id);
+        lx.map.insert(p.clone(), id);
+    }
+    for stmt in &func.body {
+        lx.lower_stmt(stmt);
+    }
+    for o in &func.outputs {
+        let id = lx.var_id(o);
+        lx.func.outputs.push(id);
+    }
+    let body = lx.out.pop().expect("root emission frame");
+    lx.func.body = body;
+    (lx.func, lx.diags)
+}
+
+fn collect_assigned(stmts: &[ast::Stmt], out: &mut HashSet<String>) {
+    for s in stmts {
+        match s {
+            ast::Stmt::Assign { target, .. } => {
+                out.insert(target.name().to_string());
+            }
+            ast::Stmt::MultiAssign { targets, .. } => {
+                for t in targets.iter().flatten() {
+                    out.insert(t.name().to_string());
+                }
+            }
+            ast::Stmt::If {
+                arms, else_body, ..
+            } => {
+                for (_, body) in arms {
+                    collect_assigned(body, out);
+                }
+                if let Some(b) = else_body {
+                    collect_assigned(b, out);
+                }
+            }
+            ast::Stmt::For { var, body, .. } => {
+                out.insert(var.clone());
+                collect_assigned(body, out);
+            }
+            ast::Stmt::While { body, .. } => collect_assigned(body, out),
+            ast::Stmt::Global { names, .. } => {
+                out.extend(names.iter().cloned());
+            }
+            _ => {}
+        }
+    }
+}
+
+struct Lowerer<'a> {
+    func: MirFunction,
+    program: &'a ast::Program,
+    analysis: &'a Analysis,
+    info: matic_sema::FunctionInfo,
+    assigned: HashSet<String>,
+    map: HashMap<String, VarId>,
+    diags: DiagnosticBag,
+    /// Stack of emission buffers for nested bodies.
+    out: Vec<Vec<Stmt>>,
+}
+
+/// Builtins that are pure side effects (no value result).
+const EFFECT_BUILTINS: &[&str] = &["disp", "fprintf", "error", "rng"];
+
+impl<'a> Lowerer<'a> {
+    fn emit(&mut self, stmt: Stmt) {
+        self.out.last_mut().expect("emission frame").push(stmt);
+    }
+
+    /// Runs `f` capturing emissions into a fresh buffer.
+    fn capture(&mut self, f: impl FnOnce(&mut Self)) -> Vec<Stmt> {
+        self.out.push(Vec::new());
+        f(self);
+        self.out.pop().expect("capture frame")
+    }
+
+    fn var_id(&mut self, name: &str) -> VarId {
+        if let Some(&id) = self.map.get(name) {
+            return id;
+        }
+        let ty = self.info.var_ty(name);
+        let id = self.func.add_var(name.to_string(), ty);
+        self.map.insert(name.to_string(), id);
+        id
+    }
+
+    fn temp(&mut self, ty: Ty) -> VarId {
+        self.func.add_temp(ty)
+    }
+
+    fn def_temp(&mut self, rv: Rvalue, ty: Ty, span: Span) -> Operand {
+        let t = self.temp(ty);
+        self.emit(Stmt::Def { dst: t, rv, span });
+        Operand::Var(t)
+    }
+
+    // ---- statements ----------------------------------------------------
+
+    fn lower_stmt(&mut self, stmt: &ast::Stmt) {
+        match stmt {
+            ast::Stmt::Assign {
+                target,
+                value,
+                span,
+                ..
+            } => self.lower_assign(target, value, *span),
+            ast::Stmt::MultiAssign {
+                targets,
+                call,
+                span,
+                ..
+            } => self.lower_multi_assign(targets, call, *span),
+            ast::Stmt::ExprStmt { expr, span, .. } => {
+                // Effect builtins become Effect statements; other bare
+                // expressions evaluate into `ans`.
+                if let Expr::Call { name, args, .. } = expr {
+                    if !self.assigned.contains(name)
+                        && EFFECT_BUILTINS.contains(&name.as_str())
+                    {
+                        let ops: Vec<Operand> =
+                            args.iter().map(|a| self.lower_expr(a)).collect();
+                        self.emit(Stmt::Effect {
+                            name: name.clone(),
+                            args: ops,
+                            span: *span,
+                        });
+                        return;
+                    }
+                }
+                let op = self.lower_expr(expr);
+                let ans = self.var_id("ans");
+                self.emit(Stmt::Def {
+                    dst: ans,
+                    rv: Rvalue::Use(op),
+                    span: *span,
+                });
+            }
+            ast::Stmt::If {
+                arms, else_body, ..
+            } => self.lower_if(arms, else_body.as_deref()),
+            ast::Stmt::For {
+                var,
+                iter,
+                body,
+                span,
+            } => self.lower_for(var, iter, body, *span),
+            ast::Stmt::While { cond, body, .. } => {
+                let mut cond_op = Operand::Const(0.0);
+                let cond_defs = self.capture(|lx| {
+                    cond_op = lx.lower_cond(cond);
+                });
+                let body_stmts = self.capture(|lx| {
+                    for s in body {
+                        lx.lower_stmt(s);
+                    }
+                });
+                self.emit(Stmt::While {
+                    cond_defs,
+                    cond: cond_op,
+                    body: body_stmts,
+                });
+            }
+            ast::Stmt::Break(_) => self.emit(Stmt::Break),
+            ast::Stmt::Continue(_) => self.emit(Stmt::Continue),
+            ast::Stmt::Return(_) => self.emit(Stmt::Return),
+            ast::Stmt::Global { span, .. } => {
+                self.diags.warning(
+                    "`global` is not supported in compiled functions; treated as empty locals",
+                    *span,
+                );
+            }
+        }
+    }
+
+    fn lower_assign(&mut self, target: &LValue, value: &Expr, span: Span) {
+        match target {
+            LValue::Name { name, .. } => {
+                let dst = self.var_id(name);
+                let rv = self.lower_expr_rvalue(value);
+                self.emit(Stmt::Def { dst, rv, span });
+            }
+            LValue::Index { name, indices, .. } => {
+                let array = self.var_id(name);
+                let idx = self.lower_indices(array, indices);
+                let v = self.lower_expr(value);
+                self.emit(Stmt::Store {
+                    array,
+                    indices: idx,
+                    value: v,
+                    span,
+                });
+            }
+        }
+    }
+
+    fn lower_multi_assign(&mut self, targets: &[Option<LValue>], call: &Expr, span: Span) {
+        let Expr::Call { name, args, .. } = call else {
+            self.diags.error(
+                "multi-output assignment requires a function call",
+                span,
+            );
+            return;
+        };
+        let ops: Vec<Operand> = args.iter().map(|a| self.lower_expr(a)).collect();
+        let arg_tys: Vec<Ty> = ops.iter().map(|o| self.func.operand_ty(*o)).collect();
+        let user = self.program.function(name).is_some();
+        let out_tys: Vec<Ty> = if user {
+            self.analysis
+                .function(name)
+                .map(|fi| fi.outputs.clone())
+                .unwrap_or_default()
+        } else {
+            builtin_nargout_types(name, &arg_tys, targets.len()).unwrap_or_default()
+        };
+        // Direct name targets get defined in place; indexed targets go
+        // through a temporary + store.
+        let mut dsts: Vec<Option<VarId>> = Vec::new();
+        let mut stores: Vec<(VarId, Vec<Index>, VarId)> = Vec::new();
+        for (k, t) in targets.iter().enumerate() {
+            let out_ty = out_tys.get(k).copied().unwrap_or_else(Ty::unknown);
+            match t {
+                None => dsts.push(None),
+                Some(LValue::Name { name, .. }) => {
+                    dsts.push(Some(self.var_id(name)));
+                }
+                Some(LValue::Index { name, indices, .. }) => {
+                    let tmp = self.temp(out_ty);
+                    let array = self.var_id(name);
+                    let idx = self.lower_indices(array, indices);
+                    stores.push((array, idx, tmp));
+                    dsts.push(Some(tmp));
+                }
+            }
+        }
+        self.emit(Stmt::CallMulti {
+            dsts,
+            func: name.clone(),
+            args: ops,
+            user,
+            span,
+        });
+        for (array, indices, tmp) in stores {
+            self.emit(Stmt::Store {
+                array,
+                indices,
+                value: Operand::Var(tmp),
+                span,
+            });
+        }
+    }
+
+    fn lower_if(&mut self, arms: &[(Expr, Vec<ast::Stmt>)], else_body: Option<&[ast::Stmt]>) {
+        let Some(((cond, body), rest)) = arms.split_first() else {
+            if let Some(b) = else_body {
+                for s in b {
+                    self.lower_stmt(s);
+                }
+            }
+            return;
+        };
+        let c = self.lower_cond(cond);
+        let then_body = self.capture(|lx| {
+            for s in body {
+                lx.lower_stmt(s);
+            }
+        });
+        let else_stmts = self.capture(|lx| {
+            lx.lower_if(rest, else_body);
+        });
+        self.emit(Stmt::If {
+            cond: c,
+            then_body,
+            else_body: else_stmts,
+        });
+    }
+
+    fn lower_for(&mut self, var: &str, iter: &Expr, body: &[ast::Stmt], span: Span) {
+        let var_id = self.var_id(var);
+        if let Expr::Range {
+            start, step, stop, ..
+        } = iter
+        {
+            let s = self.lower_expr(start);
+            let st = match step {
+                Some(e) => self.lower_expr(e),
+                None => Operand::Const(1.0),
+            };
+            let e = self.lower_expr(stop);
+            let body_stmts = self.capture(|lx| {
+                for s in body {
+                    lx.lower_stmt(s);
+                }
+            });
+            self.emit(Stmt::For {
+                var: var_id,
+                start: s,
+                step: st,
+                stop: e,
+                body: body_stmts,
+            });
+            return;
+        }
+        // General iteration: seq = iter; for k = 1:numel(seq) { var = seq(k); ... }
+        let seq_op = self.lower_expr(iter);
+        let Some(seq_var) = seq_op.as_var() else {
+            // Iterating a constant: single-trip loop.
+            let body_stmts = self.capture(|lx| {
+                lx.emit(Stmt::Def {
+                    dst: var_id,
+                    rv: Rvalue::Use(seq_op),
+                    span,
+                });
+                for s in body {
+                    lx.lower_stmt(s);
+                }
+            });
+            let trip = self.func.add_temp(Ty::double_scalar());
+            self.emit(Stmt::For {
+                var: trip,
+                start: Operand::Const(1.0),
+                step: Operand::Const(1.0),
+                stop: Operand::Const(1.0),
+                body: body_stmts,
+            });
+            return;
+        };
+        let n = self.def_temp(
+            Rvalue::Builtin {
+                name: "numel".to_string(),
+                args: vec![Operand::Var(seq_var)],
+            },
+            Ty::double_scalar(),
+            span,
+        );
+        let k = self.temp(Ty::double_scalar());
+        let elem_ty = Ty::new(self.func.var_ty(seq_var).class, Shape::scalar());
+        let body_stmts = self.capture(|lx| {
+            lx.emit(Stmt::Def {
+                dst: var_id,
+                rv: Rvalue::Index {
+                    array: seq_var,
+                    indices: vec![Index::Scalar(Operand::Var(k))],
+                },
+                span,
+            });
+            let _ = elem_ty;
+            for s in body {
+                lx.lower_stmt(s);
+            }
+        });
+        self.emit(Stmt::For {
+            var: k,
+            start: Operand::Const(1.0),
+            step: Operand::Const(1.0),
+            stop: n,
+            body: body_stmts,
+        });
+    }
+
+    /// Lowers a condition expression to a scalar-truthiness operand.
+    fn lower_cond(&mut self, expr: &Expr) -> Operand {
+        let op = self.lower_expr(expr);
+        let ty = self.func.operand_ty(op);
+        if ty.shape.is_scalar() {
+            op
+        } else {
+            // MATLAB truthiness of an array: all elements nonzero.
+            self.def_temp(
+                Rvalue::Builtin {
+                    name: "all".to_string(),
+                    args: vec![op],
+                },
+                Ty::new(Class::Logical, Shape::scalar()),
+                expr.span(),
+            )
+        }
+    }
+
+    // ---- expressions ---------------------------------------------------
+
+    /// Lowers an expression directly to an [`Rvalue`] (used when the value
+    /// lands in a named register, avoiding a copy through a temp).
+    fn lower_expr_rvalue(&mut self, expr: &Expr) -> Rvalue {
+        match expr {
+            Expr::Binary { op, lhs, rhs, .. }
+                if !matches!(op, BinOp::AndAnd | BinOp::OrOr) =>
+            {
+                let a = self.lower_expr(lhs);
+                let b = self.lower_expr(rhs);
+                Rvalue::Binary { op: *op, a, b }
+            }
+            // Indexed reads land directly in the destination register —
+            // `u = y(a:b)` must not clone through a temporary.
+            Expr::Call { name, args, .. } if self.assigned.contains(name) => {
+                let array = self.var_id(name);
+                let indices = self.lower_indices(array, args);
+                Rvalue::Index { array, indices }
+            }
+            Expr::Unary { op, operand, .. } => {
+                let a = self.lower_expr(operand);
+                Rvalue::Unary { op: *op, a }
+            }
+            Expr::Transpose {
+                operand, conjugate, ..
+            } => {
+                let a = self.lower_expr(operand);
+                Rvalue::Transpose {
+                    a,
+                    conjugate: *conjugate,
+                }
+            }
+            Expr::Range {
+                start, step, stop, ..
+            } => {
+                let s = self.lower_expr(start);
+                let st = match step {
+                    Some(e) => self.lower_expr(e),
+                    None => Operand::Const(1.0),
+                };
+                let e = self.lower_expr(stop);
+                Rvalue::Range {
+                    start: s,
+                    step: st,
+                    stop: e,
+                }
+            }
+            _ => {
+                let op = self.lower_expr(expr);
+                Rvalue::Use(op)
+            }
+        }
+    }
+
+    fn lower_expr(&mut self, expr: &Expr) -> Operand {
+        let span = expr.span();
+        match expr {
+            Expr::Number { value, .. } => Operand::Const(*value),
+            Expr::Imaginary { value, .. } => Operand::ConstC(0.0, *value),
+            Expr::Str { value, .. } => self.def_temp(
+                Rvalue::StrLit(value.clone()),
+                Ty::new(Class::Char, Shape::row(Dim::Known(value.chars().count()))),
+                span,
+            ),
+            Expr::Ident { name, .. } => {
+                if self.assigned.contains(name) {
+                    return Operand::Var(self.var_id(name));
+                }
+                // Builtin constant or zero-arg function.
+                self.lower_call_like(name, &[], span)
+            }
+            Expr::Call { name, args, .. } => {
+                if self.assigned.contains(name) {
+                    let array = self.var_id(name);
+                    let indices = self.lower_indices(array, args);
+                    let ty = self.index_ty(array, &indices);
+                    return self.def_temp(Rvalue::Index { array, indices }, ty, span);
+                }
+                let arg_ops: Vec<Operand> = args.iter().map(|a| self.lower_expr(a)).collect();
+                self.lower_call_like(name, &arg_ops, span)
+            }
+            Expr::Binary { op, lhs, rhs, .. } => match op {
+                BinOp::AndAnd | BinOp::OrOr => self.lower_short_circuit(*op, lhs, rhs, span),
+                _ => {
+                    let a = self.lower_expr(lhs);
+                    let b = self.lower_expr(rhs);
+                    let (ty, _) = matic_sema::binop_result(
+                        *op,
+                        self.func.operand_ty(a),
+                        self.func.operand_ty(b),
+                    );
+                    self.def_temp(Rvalue::Binary { op: *op, a, b }, ty, span)
+                }
+            },
+            Expr::Unary { op, operand, .. } => {
+                let a = self.lower_expr(operand);
+                let ty = matic_sema::unop_result(*op, self.func.operand_ty(a));
+                self.def_temp(Rvalue::Unary { op: *op, a }, ty, span)
+            }
+            Expr::Transpose {
+                operand, conjugate, ..
+            } => {
+                let a = self.lower_expr(operand);
+                let at = self.func.operand_ty(a);
+                let ty = Ty::new(at.class, at.shape.transpose());
+                self.def_temp(
+                    Rvalue::Transpose {
+                        a,
+                        conjugate: *conjugate,
+                    },
+                    ty,
+                    span,
+                )
+            }
+            Expr::Range {
+                start, step, stop, ..
+            } => {
+                let s = self.lower_expr(start);
+                let st = match step {
+                    Some(e) => self.lower_expr(e),
+                    None => Operand::Const(1.0),
+                };
+                let e = self.lower_expr(stop);
+                let len = range_len_const(s, st, e);
+                let ty = Ty::new(
+                    Class::Double,
+                    Shape::row(len.map_or(Dim::Unknown, Dim::Known)),
+                );
+                self.def_temp(
+                    Rvalue::Range {
+                        start: s,
+                        step: st,
+                        stop: e,
+                    },
+                    ty,
+                    span,
+                )
+            }
+            Expr::ColonAll { span } => {
+                self.diags
+                    .error("`:` outside an index expression", *span);
+                Operand::Const(0.0)
+            }
+            Expr::EndKeyword { span } => {
+                self.diags
+                    .error("`end` outside an index expression", *span);
+                Operand::Const(0.0)
+            }
+            Expr::Matrix { rows, .. } => self.lower_matrix(rows, span),
+            Expr::AnonFn { span, .. } | Expr::FnHandle { span, .. } => {
+                self.diags.error(
+                    "function handles are not supported in compiled functions",
+                    *span,
+                );
+                Operand::Const(0.0)
+            }
+        }
+    }
+
+    fn lower_call_like(&mut self, name: &str, args: &[Operand], span: Span) -> Operand {
+        let arg_tys: Vec<Ty> = args.iter().map(|o| self.func.operand_ty(*o)).collect();
+        if self.program.function(name).is_some() {
+            let ty = self
+                .analysis
+                .function(name)
+                .and_then(|fi| fi.outputs.first().copied())
+                .unwrap_or_else(Ty::unknown);
+            return self.def_temp(
+                Rvalue::Call {
+                    func: name.to_string(),
+                    args: args.to_vec(),
+                },
+                ty,
+                span,
+            );
+        }
+        // Allocation builtins become explicit Allocs.
+        if matches!(name, "zeros" | "ones" | "eye") {
+            let kind = match name {
+                "zeros" => AllocKind::Zeros,
+                "ones" => AllocKind::Ones,
+                _ => AllocKind::Eye,
+            };
+            let (rows, cols) = match args.len() {
+                0 => (Operand::Const(1.0), Operand::Const(1.0)),
+                1 => (args[0], args[0]),
+                _ => (args[0], args[1]),
+            };
+            let ty = builtin_result(name, &arg_tys).unwrap_or_else(Ty::unknown);
+            return self.def_temp(Rvalue::Alloc { kind, rows, cols }, ty, span);
+        }
+        match builtin_result(name, &arg_tys) {
+            Some(ty) => self.def_temp(
+                Rvalue::Builtin {
+                    name: name.to_string(),
+                    args: args.to_vec(),
+                },
+                ty,
+                span,
+            ),
+            None => {
+                self.diags.error(
+                    format!("call to unknown function `{name}`"),
+                    span,
+                );
+                Operand::Const(0.0)
+            }
+        }
+    }
+
+    fn lower_short_circuit(
+        &mut self,
+        op: BinOp,
+        lhs: &Expr,
+        rhs: &Expr,
+        span: Span,
+    ) -> Operand {
+        let result = self.temp(Ty::new(Class::Logical, Shape::scalar()));
+        let a = self.lower_cond(lhs);
+        let then_body;
+        let else_body;
+        match op {
+            BinOp::AndAnd => {
+                then_body = self.capture(|lx| {
+                    let b = lx.lower_cond(rhs);
+                    lx.emit(Stmt::Def {
+                        dst: result,
+                        rv: Rvalue::Binary {
+                            op: BinOp::Ne,
+                            a: b,
+                            b: Operand::Const(0.0),
+                        },
+                        span,
+                    });
+                });
+                else_body = vec![Stmt::Def {
+                    dst: result,
+                    rv: Rvalue::Use(Operand::Const(0.0)),
+                    span,
+                }];
+            }
+            _ => {
+                then_body = vec![Stmt::Def {
+                    dst: result,
+                    rv: Rvalue::Use(Operand::Const(1.0)),
+                    span,
+                }];
+                else_body = self.capture(|lx| {
+                    let b = lx.lower_cond(rhs);
+                    lx.emit(Stmt::Def {
+                        dst: result,
+                        rv: Rvalue::Binary {
+                            op: BinOp::Ne,
+                            a: b,
+                            b: Operand::Const(0.0),
+                        },
+                        span,
+                    });
+                });
+            }
+        }
+        self.emit(Stmt::If {
+            cond: a,
+            then_body,
+            else_body,
+        });
+        Operand::Var(result)
+    }
+
+    fn lower_matrix(&mut self, rows: &[Vec<Expr>], span: Span) -> Operand {
+        let mut op_rows: Vec<Vec<Operand>> = Vec::new();
+        let mut class = Class::Double;
+        let mut all_scalar = true;
+        for row in rows {
+            let mut ops = Vec::new();
+            for e in row {
+                let o = self.lower_expr(e);
+                let t = self.func.operand_ty(o);
+                class = class.join(match t.class {
+                    Class::Logical | Class::Char => Class::Double,
+                    c => c,
+                });
+                if !t.shape.is_scalar() {
+                    all_scalar = false;
+                }
+                ops.push(o);
+            }
+            op_rows.push(ops);
+        }
+        let shape = if rows.is_empty() {
+            Shape::known(0, 0)
+        } else if all_scalar {
+            Shape::known(rows.len(), rows[0].len())
+        } else {
+            Shape::unknown()
+        };
+        self.def_temp(Rvalue::MatrixLit { rows: op_rows }, Ty::new(class, shape), span)
+    }
+
+    /// Lowers the index list of `array(...)`, rewriting `end`.
+    fn lower_indices(&mut self, array: VarId, args: &[Expr]) -> Vec<Index> {
+        let n = args.len();
+        args.iter()
+            .enumerate()
+            .map(|(k, a)| self.lower_index(array, a, k, n))
+            .collect()
+    }
+
+    fn lower_index(&mut self, array: VarId, expr: &Expr, position: usize, total: usize) -> Index {
+        match expr {
+            Expr::ColonAll { .. } => Index::Full,
+            Expr::Range {
+                start, step, stop, ..
+            } => {
+                let s = self.lower_index_scalar(array, start, position, total);
+                let st = match step {
+                    Some(e) => self.lower_index_scalar(array, e, position, total),
+                    None => Operand::Const(1.0),
+                };
+                let e = self.lower_index_scalar(array, stop, position, total);
+                Index::Range {
+                    start: s,
+                    step: st,
+                    stop: e,
+                }
+            }
+            _ => Index::Scalar(self.lower_index_scalar(array, expr, position, total)),
+        }
+    }
+
+    /// Lowers a scalar index expression, substituting `end`.
+    fn lower_index_scalar(
+        &mut self,
+        array: VarId,
+        expr: &Expr,
+        position: usize,
+        total: usize,
+    ) -> Operand {
+        match expr {
+            Expr::EndKeyword { span } => {
+                // `end` in 1-D indexing is numel; in 2-D it is size(A, dim).
+                // When the extent is statically known, fold it.
+                let ty = self.func.var_ty(array);
+                if total == 1 {
+                    if let Some(n) = ty.shape.numel() {
+                        return Operand::Const(n as f64);
+                    }
+                    self.def_temp(
+                        Rvalue::Builtin {
+                            name: "numel".to_string(),
+                            args: vec![Operand::Var(array)],
+                        },
+                        Ty::double_scalar(),
+                        *span,
+                    )
+                } else {
+                    let dim = if position == 0 {
+                        ty.shape.rows
+                    } else {
+                        ty.shape.cols
+                    };
+                    if let Some(n) = dim.known() {
+                        return Operand::Const(n as f64);
+                    }
+                    self.def_temp(
+                        Rvalue::Builtin {
+                            name: "size".to_string(),
+                            args: vec![
+                                Operand::Var(array),
+                                Operand::Const((position + 1) as f64),
+                            ],
+                        },
+                        Ty::double_scalar(),
+                        *span,
+                    )
+                }
+            }
+            Expr::Binary { op, lhs, rhs, span } => {
+                let a = self.lower_index_scalar(array, lhs, position, total);
+                let b = self.lower_index_scalar(array, rhs, position, total);
+                if let (Some(x), Some(y)) = (a.as_const(), b.as_const()) {
+                    if let Some(v) = fold_real(*op, x, y) {
+                        return Operand::Const(v);
+                    }
+                }
+                let (ty, _) = matic_sema::binop_result(
+                    *op,
+                    self.func.operand_ty(a),
+                    self.func.operand_ty(b),
+                );
+                self.def_temp(Rvalue::Binary { op: *op, a, b }, ty, *span)
+            }
+            Expr::Unary {
+                op: UnOp::Neg,
+                operand,
+                span,
+            } => {
+                let a = self.lower_index_scalar(array, operand, position, total);
+                if let Some(x) = a.as_const() {
+                    return Operand::Const(-x);
+                }
+                let ty = matic_sema::unop_result(UnOp::Neg, self.func.operand_ty(a));
+                self.def_temp(Rvalue::Unary { op: UnOp::Neg, a }, ty, *span)
+            }
+            _ => self.lower_expr(expr),
+        }
+    }
+
+    /// Result type of indexing `array` with `indices`.
+    fn index_ty(&self, array: VarId, indices: &[Index]) -> Ty {
+        let base = self.func.var_ty(array);
+        let class = base.class;
+        match indices {
+            [Index::Scalar(op)] => {
+                // Gather with a vector operand keeps the operand's shape.
+                let it = self.func.operand_ty(*op);
+                if it.shape.is_scalar() {
+                    Ty::new(class, Shape::scalar())
+                } else {
+                    Ty::new(class, it.shape)
+                }
+            }
+            [Index::Full] => Ty::new(class, Shape::col(Dim::Unknown)),
+            [Index::Range { start, step, stop }] => {
+                let len = range_len_const(*start, *step, *stop);
+                Ty::new(class, Shape::row(len.map_or(Dim::Unknown, Dim::Known)))
+            }
+            [r, c] => {
+                let rows = match r {
+                    Index::Scalar(_) => Dim::Known(1),
+                    Index::Full => base.shape.rows,
+                    Index::Range { start, step, stop } => {
+                        range_len_const(*start, *step, *stop).map_or(Dim::Unknown, Dim::Known)
+                    }
+                };
+                let cols = match c {
+                    Index::Scalar(_) => Dim::Known(1),
+                    Index::Full => base.shape.cols,
+                    Index::Range { start, step, stop } => {
+                        range_len_const(*start, *step, *stop).map_or(Dim::Unknown, Dim::Known)
+                    }
+                };
+                Ty::new(class, Shape { rows, cols })
+            }
+            _ => Ty::new(class, Shape::unknown()),
+        }
+    }
+}
+
+fn fold_real(op: BinOp, a: f64, b: f64) -> Option<f64> {
+    match op {
+        BinOp::Add => Some(a + b),
+        BinOp::Sub => Some(a - b),
+        BinOp::MatMul | BinOp::ElemMul => Some(a * b),
+        BinOp::MatDiv | BinOp::ElemDiv => Some(a / b),
+        BinOp::MatPow | BinOp::ElemPow => Some(a.powf(b)),
+        _ => None,
+    }
+}
+
+/// Statically known length of `start:step:stop` when all three are
+/// constants.
+pub fn range_len_const(start: Operand, step: Operand, stop: Operand) -> Option<usize> {
+    let (s, st, e) = (start.as_const()?, step.as_const()?, stop.as_const()?);
+    if st == 0.0 || (st > 0.0 && s > e) || (st < 0.0 && s < e) {
+        return Some(0);
+    }
+    Some(((e - s) / st + 1e-10).floor() as usize + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matic_frontend::parse;
+    use matic_sema::analyze;
+
+    fn lower_src(src: &str, entry: &str, args: &[Ty]) -> MirProgram {
+        let (p, diags) = parse(src);
+        assert!(!diags.has_errors(), "parse: {:?}", diags.into_vec());
+        let analysis = analyze(&p, entry, args);
+        assert!(
+            !analysis.diags.has_errors(),
+            "sema: {:?}",
+            analysis.diags.clone().into_vec()
+        );
+        let (mir, diags) = lower_program(&p, &analysis);
+        assert!(!diags.has_errors(), "lower: {:?}", diags.into_vec());
+        mir
+    }
+
+    fn vec_arg(n: usize) -> Ty {
+        Ty::new(Class::Double, Shape::row(Dim::Known(n)))
+    }
+
+    #[test]
+    fn lowers_simple_function() {
+        let mir = lower_src(
+            "function y = f(x)\ny = 2 * x + 1;\nend",
+            "f",
+            &[Ty::double_scalar()],
+        );
+        let f = mir.function("f").unwrap();
+        assert_eq!(f.params.len(), 1);
+        assert_eq!(f.outputs.len(), 1);
+        assert!(f.stmt_count() >= 2);
+    }
+
+    #[test]
+    fn for_loop_structure_preserved() {
+        let mir = lower_src(
+            "function s = f(x)\ns = 0;\nfor i = 1:length(x)\n s = s + x(i);\nend\nend",
+            "f",
+            &[vec_arg(16)],
+        );
+        let f = mir.function("f").unwrap();
+        let has_for = f.body.iter().any(|s| matches!(s, Stmt::For { .. }));
+        assert!(has_for, "for loop should stay structured: {:#?}", f.body);
+    }
+
+    #[test]
+    fn end_becomes_constant_when_shape_known() {
+        let mir = lower_src(
+            "function y = f(x)\ny = x(end);\nend",
+            "f",
+            &[vec_arg(64)],
+        );
+        let f = mir.function("f").unwrap();
+        // The index should be folded to the constant 64.
+        let mut found = false;
+        walk_stmts(&f.body, &mut |s| {
+            if let Stmt::Def {
+                rv: Rvalue::Index { indices, .. },
+                ..
+            } = s
+            {
+                if let [Index::Scalar(Operand::Const(v))] = indices[..] {
+                    assert_eq!(v, 64.0);
+                    found = true;
+                }
+            }
+        });
+        assert!(found, "constant-folded end index expected");
+    }
+
+    #[test]
+    fn end_becomes_numel_when_shape_unknown() {
+        let mir = lower_src(
+            "function y = f(x, n)\nz = x(1:n);\ny = z(end);\nend",
+            "f",
+            &[vec_arg(64), Ty::double_scalar()],
+        );
+        let f = mir.function("f").unwrap();
+        let mut saw_numel = false;
+        walk_stmts(&f.body, &mut |s| {
+            if let Stmt::Def {
+                rv: Rvalue::Builtin { name, .. },
+                ..
+            } = s
+            {
+                if name == "numel" {
+                    saw_numel = true;
+                }
+            }
+        });
+        assert!(saw_numel);
+    }
+
+    #[test]
+    fn effect_builtin_becomes_effect() {
+        let mir = lower_src(
+            "function f(x)\nfprintf('%f\\n', x);\nend",
+            "f",
+            &[Ty::double_scalar()],
+        );
+        let f = mir.function("f").unwrap();
+        assert!(f
+            .body
+            .iter()
+            .any(|s| matches!(s, Stmt::Effect { name, .. } if name == "fprintf")));
+    }
+
+    #[test]
+    fn zeros_becomes_alloc() {
+        let mir = lower_src("function y = f()\ny = zeros(1, 8);\nend", "f", &[]);
+        let f = mir.function("f").unwrap();
+        assert!(f.body.iter().any(|s| matches!(
+            s,
+            Stmt::Def {
+                rv: Rvalue::Alloc {
+                    kind: AllocKind::Zeros,
+                    ..
+                },
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn indexed_store() {
+        let mir = lower_src(
+            "function y = f(x)\ny = zeros(1, 4);\ny(2) = x;\nend",
+            "f",
+            &[Ty::double_scalar()],
+        );
+        let f = mir.function("f").unwrap();
+        assert!(f.body.iter().any(|s| matches!(s, Stmt::Store { .. })));
+    }
+
+    #[test]
+    fn multi_output_call() {
+        let mir = lower_src(
+            "function i = f(x)\n[~, i] = max(x);\nend",
+            "f",
+            &[vec_arg(8)],
+        );
+        let f = mir.function("f").unwrap();
+        let cm = f.body.iter().find_map(|s| match s {
+            Stmt::CallMulti { dsts, user, .. } => Some((dsts.clone(), *user)),
+            _ => None,
+        });
+        let (dsts, user) = cm.expect("CallMulti present");
+        assert!(!user);
+        assert_eq!(dsts.len(), 2);
+        assert!(dsts[0].is_none());
+        assert!(dsts[1].is_some());
+    }
+
+    #[test]
+    fn user_call_lowered() {
+        let mir = lower_src(
+            "function y = top(x)\ny = helper(x) + 1;\nend\nfunction z = helper(x)\nz = 2 * x;\nend",
+            "top",
+            &[Ty::double_scalar()],
+        );
+        assert!(mir.function("helper").is_some());
+        let top = mir.function("top").unwrap();
+        let mut saw_call = false;
+        walk_stmts(&top.body, &mut |s| {
+            if let Stmt::Def {
+                rv: Rvalue::Call { func, .. },
+                ..
+            } = s
+            {
+                assert_eq!(func, "helper");
+                saw_call = true;
+            }
+        });
+        assert!(saw_call);
+    }
+
+    #[test]
+    fn short_circuit_becomes_if() {
+        let mir = lower_src(
+            "function y = f(a, b)\nif a > 0 && b > 0\n y = 1;\nelse\n y = 0;\nend\nend",
+            "f",
+            &[Ty::double_scalar(), Ty::double_scalar()],
+        );
+        let f = mir.function("f").unwrap();
+        // Expect two If statements: one from &&, one from the user's if.
+        let mut ifs = 0;
+        walk_stmts(&f.body, &mut |s| {
+            if matches!(s, Stmt::If { .. }) {
+                ifs += 1;
+            }
+        });
+        assert!(ifs >= 2);
+    }
+
+    #[test]
+    fn while_cond_defs_captured() {
+        let mir = lower_src(
+            "function y = f(n)\ny = n;\nwhile y > 1\n y = y / 2;\nend\nend",
+            "f",
+            &[Ty::double_scalar()],
+        );
+        let f = mir.function("f").unwrap();
+        let w = f.body.iter().find_map(|s| match s {
+            Stmt::While {
+                cond_defs, cond, ..
+            } => Some((cond_defs.len(), *cond)),
+            _ => None,
+        });
+        let (n_defs, cond) = w.expect("while present");
+        assert!(n_defs >= 1, "condition computation captured");
+        assert!(matches!(cond, Operand::Var(_)));
+    }
+
+    #[test]
+    fn colon_index_is_full() {
+        let mir = lower_src(
+            "function y = f(a)\ny = a(:, 2);\nend",
+            "f",
+            &[Ty::new(Class::Double, Shape::known(4, 4))],
+        );
+        let f = mir.function("f").unwrap();
+        let mut saw_full = false;
+        walk_stmts(&f.body, &mut |s| {
+            if let Stmt::Def {
+                rv: Rvalue::Index { indices, .. },
+                ..
+            } = s
+            {
+                if matches!(indices[0], Index::Full) {
+                    saw_full = true;
+                }
+            }
+        });
+        assert!(saw_full);
+    }
+
+    #[test]
+    fn slice_index_range() {
+        let mir = lower_src(
+            "function y = f(x)\ny = x(2:end-1);\nend",
+            "f",
+            &[vec_arg(10)],
+        );
+        let f = mir.function("f").unwrap();
+        let mut ok = false;
+        walk_stmts(&f.body, &mut |s| {
+            if let Stmt::Def {
+                rv: Rvalue::Index { indices, .. },
+                ..
+            } = s
+            {
+                if let [Index::Range { start, stop, .. }] = &indices[..] {
+                    assert_eq!(start.as_const(), Some(2.0));
+                    assert_eq!(stop.as_const(), Some(9.0));
+                    ok = true;
+                }
+            }
+        });
+        assert!(ok, "range index with folded end-1 expected");
+    }
+
+    #[test]
+    fn matrix_literal_operands() {
+        let mir = lower_src("function y = f()\ny = [1 2; 3 4];\nend", "f", &[]);
+        let f = mir.function("f").unwrap();
+        let mut ok = false;
+        walk_stmts(&f.body, &mut |s| {
+            if let Stmt::Def {
+                rv: Rvalue::MatrixLit { rows },
+                ..
+            } = s
+            {
+                assert_eq!(rows.len(), 2);
+                assert_eq!(rows[0].len(), 2);
+                ok = true;
+            }
+        });
+        assert!(ok);
+    }
+
+    #[test]
+    fn function_handle_rejected() {
+        let (p, _) = parse("function y = f(x)\ng = @(t) t;\ny = g(x);\nend");
+        let analysis = analyze(&p, "f", &[Ty::double_scalar()]);
+        let (_, diags) = lower_program(&p, &analysis);
+        assert!(diags.has_errors());
+    }
+
+    #[test]
+    fn general_for_iteration_lowered_to_indexed_loop() {
+        let mir = lower_src(
+            "function s = f(v)\ns = 0;\nfor x = v\n s = s + x;\nend\nend",
+            "f",
+            &[vec_arg(8)],
+        );
+        let f = mir.function("f").unwrap();
+        let mut saw_numel = false;
+        walk_stmts(&f.body, &mut |s| {
+            if let Stmt::Def {
+                rv: Rvalue::Builtin { name, .. },
+                ..
+            } = s
+            {
+                if name == "numel" {
+                    saw_numel = true;
+                }
+            }
+        });
+        assert!(saw_numel, "general for should iterate via numel");
+    }
+}

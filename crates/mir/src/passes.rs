@@ -1,0 +1,641 @@
+//! MIR optimization passes: constant folding, algebraic simplification,
+//! copy propagation and dead-code elimination.
+//!
+//! All passes are semantics-preserving and conservative in the presence of
+//! loops: values flowing around a back edge are only rewritten when the
+//! rewrite is valid for every iteration (single-assignment temporaries).
+
+use crate::ir::*;
+use matic_frontend::ast::{BinOp, UnOp};
+use std::collections::HashMap;
+
+/// Runs the standard pass pipeline to a fixpoint (bounded).
+pub fn optimize(func: &mut MirFunction) {
+    for _ in 0..4 {
+        let a = constant_fold(func);
+        let b = copy_propagate(func);
+        let c = dead_code_eliminate(func);
+        if !(a || b || c) {
+            break;
+        }
+    }
+}
+
+/// Runs [`optimize`] on every function.
+pub fn optimize_program(program: &mut MirProgram) {
+    for f in &mut program.functions {
+        optimize(f);
+    }
+}
+
+// ---- constant folding ---------------------------------------------------
+
+/// Folds arithmetic on constant operands and simplifies algebraic
+/// identities (`x*1`, `x+0`, `x^1`). Returns whether anything changed.
+pub fn constant_fold(func: &mut MirFunction) -> bool {
+    let mut changed = false;
+    let mut body = std::mem::take(&mut func.body);
+    fold_stmts(&mut body, &mut changed);
+    func.body = body;
+    changed
+}
+
+fn fold_stmts(stmts: &mut [Stmt], changed: &mut bool) {
+    for s in stmts {
+        match s {
+            Stmt::Def { rv, .. } => {
+                if let Some(new_rv) = fold_rvalue(rv) {
+                    *rv = new_rv;
+                    *changed = true;
+                }
+            }
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                fold_stmts(then_body, changed);
+                fold_stmts(else_body, changed);
+            }
+            Stmt::For { body, .. } => fold_stmts(body, changed),
+            Stmt::While {
+                cond_defs, body, ..
+            } => {
+                fold_stmts(cond_defs, changed);
+                fold_stmts(body, changed);
+            }
+            _ => {}
+        }
+    }
+}
+
+fn fold_rvalue(rv: &Rvalue) -> Option<Rvalue> {
+    match rv {
+        Rvalue::Binary { op, a, b } => {
+            // Complex-aware constant folding.
+            if let (Some((ar, ai)), Some((br, bi))) = (const_c(*a), const_c(*b)) {
+                if let Some((re, im)) = fold_complex(*op, ar, ai, br, bi) {
+                    return Some(Rvalue::Use(make_const(re, im)));
+                }
+            }
+            // Algebraic identities (element-wise safe: the identity holds
+            // lane-wise, and scalar broadcast of the neutral element keeps
+            // the other operand's shape only when that operand is the
+            // non-scalar one — using `Use` preserves it exactly).
+            match (op, a.as_const(), b.as_const()) {
+                (BinOp::Add, Some(z), _) if z == 0.0 => Some(Rvalue::Use(*b)),
+                (BinOp::Add, _, Some(z)) if z == 0.0 => Some(Rvalue::Use(*a)),
+                (BinOp::Sub, _, Some(z)) if z == 0.0 => Some(Rvalue::Use(*a)),
+                (BinOp::ElemMul | BinOp::MatMul, Some(o), _) if o == 1.0 => {
+                    Some(Rvalue::Use(*b))
+                }
+                (BinOp::ElemMul | BinOp::MatMul, _, Some(o)) if o == 1.0 => {
+                    Some(Rvalue::Use(*a))
+                }
+                (BinOp::ElemDiv | BinOp::MatDiv, _, Some(o)) if o == 1.0 => {
+                    Some(Rvalue::Use(*a))
+                }
+                (BinOp::ElemPow | BinOp::MatPow, _, Some(o)) if o == 1.0 => {
+                    Some(Rvalue::Use(*a))
+                }
+                _ => None,
+            }
+        }
+        Rvalue::Unary { op, a } => {
+            let (re, im) = const_c(*a)?;
+            match op {
+                UnOp::Neg => Some(Rvalue::Use(make_const(-re, -im))),
+                UnOp::Plus => Some(Rvalue::Use(*a)),
+                UnOp::Not => {
+                    let v = if re == 0.0 && im == 0.0 { 1.0 } else { 0.0 };
+                    Some(Rvalue::Use(Operand::Const(v)))
+                }
+            }
+        }
+        _ => None,
+    }
+}
+
+fn const_c(op: Operand) -> Option<(f64, f64)> {
+    match op {
+        Operand::Const(v) => Some((v, 0.0)),
+        Operand::ConstC(re, im) => Some((re, im)),
+        Operand::Var(_) => None,
+    }
+}
+
+fn make_const(re: f64, im: f64) -> Operand {
+    if im == 0.0 {
+        Operand::Const(re)
+    } else {
+        Operand::ConstC(re, im)
+    }
+}
+
+fn fold_complex(op: BinOp, ar: f64, ai: f64, br: f64, bi: f64) -> Option<(f64, f64)> {
+    let real = ai == 0.0 && bi == 0.0;
+    match op {
+        BinOp::Add => Some((ar + br, ai + bi)),
+        BinOp::Sub => Some((ar - br, ai - bi)),
+        BinOp::ElemMul | BinOp::MatMul => Some((ar * br - ai * bi, ar * bi + ai * br)),
+        BinOp::ElemDiv | BinOp::MatDiv => {
+            let d = br * br + bi * bi;
+            if d == 0.0 && !real {
+                return None;
+            }
+            if bi == 0.0 {
+                Some((ar / br, ai / br))
+            } else {
+                Some(((ar * br + ai * bi) / d, (ai * br - ar * bi) / d))
+            }
+        }
+        BinOp::ElemPow | BinOp::MatPow if real => {
+            let v = ar.powf(br);
+            // Keep complex-producing powers (negative base, fractional
+            // exponent) un-folded so runtime semantics decide.
+            if v.is_nan() {
+                None
+            } else {
+                Some((v, 0.0))
+            }
+        }
+        BinOp::Eq if real => Some(((ar == br) as u8 as f64, 0.0)),
+        BinOp::Ne if real => Some(((ar != br) as u8 as f64, 0.0)),
+        BinOp::Lt if real => Some(((ar < br) as u8 as f64, 0.0)),
+        BinOp::Le if real => Some(((ar <= br) as u8 as f64, 0.0)),
+        BinOp::Gt if real => Some(((ar > br) as u8 as f64, 0.0)),
+        BinOp::Ge if real => Some(((ar >= br) as u8 as f64, 0.0)),
+        _ => None,
+    }
+}
+
+// ---- copy propagation -----------------------------------------------------
+
+/// Replaces uses of single-assignment temporaries defined as `t = Use(x)`
+/// with `x`, when `x` is a constant or itself a single-assignment register.
+/// Returns whether anything changed.
+pub fn copy_propagate(func: &mut MirFunction) -> bool {
+    let def_counts = count_defs(func);
+    // Build substitution map from single-def copies.
+    let mut subst: HashMap<VarId, Operand> = HashMap::new();
+    walk_stmts(&func.body, &mut |s| {
+        if let Stmt::Def {
+            dst,
+            rv: Rvalue::Use(src),
+            ..
+        } = s
+        {
+            if def_counts.get(dst).copied().unwrap_or(0) == 1 {
+                let ok = match src {
+                    Operand::Const(_) | Operand::ConstC(..) => true,
+                    Operand::Var(v) => def_counts.get(v).copied().unwrap_or(0) == 1,
+                };
+                if ok {
+                    subst.insert(*dst, *src);
+                }
+            }
+        }
+    });
+    if subst.is_empty() {
+        return false;
+    }
+    // Resolve chains.
+    let resolve = |mut op: Operand| -> Operand {
+        let mut hops = 0;
+        while let Operand::Var(v) = op {
+            match subst.get(&v) {
+                Some(next) if hops < 32 => {
+                    op = *next;
+                    hops += 1;
+                }
+                _ => break,
+            }
+        }
+        op
+    };
+    let mut changed = false;
+    let mut body = std::mem::take(&mut func.body);
+    rewrite_operands(&mut body, &mut |op| {
+        let new = resolve(*op);
+        if new != *op {
+            *op = new;
+            changed = true;
+        }
+    });
+    func.body = body;
+    changed
+}
+
+fn count_defs(func: &MirFunction) -> HashMap<VarId, u32> {
+    let mut counts: HashMap<VarId, u32> = HashMap::new();
+    for &p in &func.params {
+        *counts.entry(p).or_default() += 1;
+    }
+    walk_stmts(&func.body, &mut |s| match s {
+        Stmt::Def { dst, .. } => *counts.entry(*dst).or_default() += 1,
+        Stmt::Store { array, .. } => *counts.entry(*array).or_default() += 1,
+        Stmt::CallMulti { dsts, .. } => {
+            for d in dsts.iter().flatten() {
+                *counts.entry(*d).or_default() += 1;
+            }
+        }
+        Stmt::For { var, .. } => *counts.entry(*var).or_default() += 1,
+        Stmt::VectorOp(vop) => {
+            if let VecRef::Slice { array, .. } = &vop.dst {
+                *counts.entry(*array).or_default() += 1;
+            } else if let VecRef::Splat(Operand::Var(v)) = &vop.dst {
+                *counts.entry(*v).or_default() += 1;
+            }
+        }
+        _ => {}
+    });
+    counts
+}
+
+/// Applies `rewrite` to every operand *read* in the body (destinations are
+/// untouched).
+fn rewrite_operands(stmts: &mut [Stmt], rewrite: &mut dyn FnMut(&mut Operand)) {
+    let rewrite_index = |idx: &mut Index, rewrite: &mut dyn FnMut(&mut Operand)| match idx {
+        Index::Scalar(o) => rewrite(o),
+        Index::Range { start, step, stop } => {
+            rewrite(start);
+            rewrite(step);
+            rewrite(stop);
+        }
+        Index::Full => {}
+    };
+    for s in stmts {
+        match s {
+            Stmt::Def { rv, .. } => match rv {
+                Rvalue::Use(a) | Rvalue::Unary { a, .. } | Rvalue::Transpose { a, .. } => {
+                    rewrite(a)
+                }
+                Rvalue::Binary { a, b, .. } => {
+                    rewrite(a);
+                    rewrite(b);
+                }
+                Rvalue::Index { indices, .. } => {
+                    for i in indices {
+                        rewrite_index(i, rewrite);
+                    }
+                }
+                Rvalue::Range { start, step, stop } => {
+                    rewrite(start);
+                    rewrite(step);
+                    rewrite(stop);
+                }
+                Rvalue::Alloc { rows, cols, .. } => {
+                    rewrite(rows);
+                    rewrite(cols);
+                }
+                Rvalue::Builtin { args, .. } | Rvalue::Call { args, .. } => {
+                    for a in args {
+                        rewrite(a);
+                    }
+                }
+                Rvalue::MatrixLit { rows } => {
+                    for row in rows {
+                        for a in row {
+                            rewrite(a);
+                        }
+                    }
+                }
+                Rvalue::StrLit(_) => {}
+            },
+            Stmt::Store {
+                indices, value, ..
+            } => {
+                for i in indices {
+                    rewrite_index(i, rewrite);
+                }
+                rewrite(value);
+            }
+            Stmt::CallMulti { args, .. } | Stmt::Effect { args, .. } => {
+                for a in args {
+                    rewrite(a);
+                }
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                rewrite(cond);
+                rewrite_operands(then_body, rewrite);
+                rewrite_operands(else_body, rewrite);
+            }
+            Stmt::For {
+                start,
+                step,
+                stop,
+                body,
+                ..
+            } => {
+                rewrite(start);
+                rewrite(step);
+                rewrite(stop);
+                rewrite_operands(body, rewrite);
+            }
+            Stmt::While {
+                cond_defs,
+                cond,
+                body,
+            } => {
+                rewrite_operands(cond_defs, rewrite);
+                rewrite(cond);
+                rewrite_operands(body, rewrite);
+            }
+            Stmt::VectorOp(vop) => {
+                let mut fix = |r: &mut VecRef| match r {
+                    VecRef::Slice { start, step, .. } => {
+                        rewrite(start);
+                        rewrite(step);
+                    }
+                    VecRef::Splat(o) => rewrite(o),
+                };
+                fix(&mut vop.a);
+                if let Some(b) = &mut vop.b {
+                    fix(b);
+                }
+                if let VecRef::Slice { start, step, .. } = &mut vop.dst {
+                    rewrite(start);
+                    rewrite(step);
+                }
+                rewrite(&mut vop.len);
+            }
+            Stmt::Break | Stmt::Continue | Stmt::Return => {}
+        }
+    }
+}
+
+// ---- dead code elimination -------------------------------------------------
+
+/// Removes `Def`s whose destination is never read and is not an output.
+/// Returns whether anything changed.
+pub fn dead_code_eliminate(func: &mut MirFunction) -> bool {
+    let mut used: HashMap<VarId, u32> = HashMap::new();
+    for &o in &func.outputs {
+        *used.entry(o).or_default() += 1;
+    }
+    walk_stmts(&func.body, &mut |s| {
+        visit_stmt_operands(s, &mut |op| {
+            if let Operand::Var(v) = op {
+                *used.entry(*v).or_default() += 1;
+            }
+        });
+        // Arrays written by Store / VectorOp must stay live.
+        match s {
+            Stmt::Store { array, .. } => {
+                *used.entry(*array).or_default() += 1;
+            }
+            Stmt::VectorOp(vop) => match &vop.dst {
+                VecRef::Slice { array, .. } => {
+                    *used.entry(*array).or_default() += 1;
+                }
+                VecRef::Splat(Operand::Var(v)) => {
+                    *used.entry(*v).or_default() += 1;
+                }
+                _ => {}
+            },
+            _ => {}
+        }
+    });
+    let mut changed = false;
+    let mut body = std::mem::take(&mut func.body);
+    eliminate(&mut body, &used, &mut changed);
+    func.body = body;
+    changed
+}
+
+fn eliminate(stmts: &mut Vec<Stmt>, used: &HashMap<VarId, u32>, changed: &mut bool) {
+    stmts.retain(|s| match s {
+        Stmt::Def { dst, rv, .. } => {
+            let live = used.get(dst).copied().unwrap_or(0) > 0;
+            // Calls may have side effects (e.g. callee prints); keep them.
+            let effectful = matches!(rv, Rvalue::Call { .. });
+            if !live && !effectful {
+                *changed = true;
+                false
+            } else {
+                true
+            }
+        }
+        _ => true,
+    });
+    for s in stmts {
+        match s {
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                eliminate(then_body, used, changed);
+                eliminate(else_body, used, changed);
+            }
+            Stmt::For { body, .. } => eliminate(body, used, changed),
+            Stmt::While {
+                cond_defs, body, ..
+            } => {
+                eliminate(cond_defs, used, changed);
+                eliminate(body, used, changed);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matic_frontend::span::Span;
+    use matic_sema::Ty;
+
+    fn def(dst: VarId, rv: Rvalue) -> Stmt {
+        Stmt::Def {
+            dst,
+            rv,
+            span: Span::dummy(),
+        }
+    }
+
+    #[test]
+    fn folds_constants() {
+        let mut f = MirFunction::new("f");
+        let t = f.add_temp(Ty::double_scalar());
+        let out = f.add_var("y", Ty::double_scalar());
+        f.outputs.push(out);
+        f.body = vec![
+            def(
+                t,
+                Rvalue::Binary {
+                    op: BinOp::Add,
+                    a: Operand::Const(2.0),
+                    b: Operand::Const(3.0),
+                },
+            ),
+            def(out, Rvalue::Use(Operand::Var(t))),
+        ];
+        optimize(&mut f);
+        // After folding + copy prop + DCE only the output def remains.
+        assert_eq!(f.body.len(), 1);
+        match &f.body[0] {
+            Stmt::Def {
+                rv: Rvalue::Use(Operand::Const(v)),
+                ..
+            } => assert_eq!(*v, 5.0),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn folds_complex_multiplication() {
+        let mut f = MirFunction::new("f");
+        let out = f.add_var("y", Ty::double_scalar());
+        f.outputs.push(out);
+        f.body = vec![def(
+            out,
+            Rvalue::Binary {
+                op: BinOp::ElemMul,
+                a: Operand::ConstC(0.0, 1.0),
+                b: Operand::ConstC(0.0, 1.0),
+            },
+        )];
+        optimize(&mut f);
+        match &f.body[0] {
+            Stmt::Def {
+                rv: Rvalue::Use(Operand::Const(v)),
+                ..
+            } => assert_eq!(*v, -1.0),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn algebraic_identities() {
+        let mut f = MirFunction::new("f");
+        let x = f.add_var("x", Ty::double_scalar());
+        f.params.push(x);
+        f.vars[x.0 as usize].is_param = true;
+        let out = f.add_var("y", Ty::double_scalar());
+        f.outputs.push(out);
+        f.body = vec![def(
+            out,
+            Rvalue::Binary {
+                op: BinOp::ElemMul,
+                a: Operand::Var(x),
+                b: Operand::Const(1.0),
+            },
+        )];
+        constant_fold(&mut f);
+        match &f.body[0] {
+            Stmt::Def {
+                rv: Rvalue::Use(Operand::Var(v)),
+                ..
+            } => assert_eq!(*v, x),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dce_keeps_stores_and_outputs() {
+        let mut f = MirFunction::new("f");
+        let arr = f.add_var("a", Ty::unknown());
+        let dead = f.add_temp(Ty::double_scalar());
+        let out = f.add_var("y", Ty::double_scalar());
+        f.outputs.push(out);
+        f.body = vec![
+            def(dead, Rvalue::Use(Operand::Const(1.0))),
+            def(
+                arr,
+                Rvalue::Alloc {
+                    kind: AllocKind::Zeros,
+                    rows: Operand::Const(1.0),
+                    cols: Operand::Const(4.0),
+                },
+            ),
+            Stmt::Store {
+                array: arr,
+                indices: vec![Index::Scalar(Operand::Const(1.0))],
+                value: Operand::Const(9.0),
+                span: Span::dummy(),
+            },
+            def(
+                out,
+                Rvalue::Index {
+                    array: arr,
+                    indices: vec![Index::Scalar(Operand::Const(1.0))],
+                },
+            ),
+        ];
+        dead_code_eliminate(&mut f);
+        assert_eq!(f.body.len(), 3, "only the dead temp is removed");
+    }
+
+    #[test]
+    fn dce_keeps_user_calls() {
+        let mut f = MirFunction::new("f");
+        let t = f.add_temp(Ty::double_scalar());
+        f.body = vec![def(
+            t,
+            Rvalue::Call {
+                func: "noisy".to_string(),
+                args: vec![],
+            },
+        )];
+        dead_code_eliminate(&mut f);
+        assert_eq!(f.body.len(), 1, "calls may have side effects");
+    }
+
+    #[test]
+    fn copy_prop_resolves_chains() {
+        let mut f = MirFunction::new("f");
+        let a = f.add_temp(Ty::double_scalar());
+        let b = f.add_temp(Ty::double_scalar());
+        let out = f.add_var("y", Ty::double_scalar());
+        f.outputs.push(out);
+        f.body = vec![
+            def(a, Rvalue::Use(Operand::Const(7.0))),
+            def(b, Rvalue::Use(Operand::Var(a))),
+            def(
+                out,
+                Rvalue::Binary {
+                    op: BinOp::Add,
+                    a: Operand::Var(b),
+                    b: Operand::Const(1.0),
+                },
+            ),
+        ];
+        optimize(&mut f);
+        assert_eq!(f.body.len(), 1);
+        match &f.body[0] {
+            Stmt::Def {
+                rv: Rvalue::Use(Operand::Const(v)),
+                ..
+            } => assert_eq!(*v, 8.0),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn copy_prop_respects_multiple_defs() {
+        // `x` defined twice: must not propagate its first value.
+        let mut f = MirFunction::new("f");
+        let x = f.add_var("x", Ty::double_scalar());
+        let out = f.add_var("y", Ty::double_scalar());
+        f.outputs.push(out);
+        f.body = vec![
+            def(x, Rvalue::Use(Operand::Const(1.0))),
+            def(x, Rvalue::Use(Operand::Const(2.0))),
+            def(out, Rvalue::Use(Operand::Var(x))),
+        ];
+        copy_propagate(&mut f);
+        // out must still read x, not 1.0.
+        match &f.body[2] {
+            Stmt::Def {
+                rv: Rvalue::Use(op),
+                ..
+            } => assert_eq!(*op, Operand::Var(x)),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+}

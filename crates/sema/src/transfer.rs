@@ -1,0 +1,131 @@
+//! Pure type-transfer functions shared by inference (`infer`) and by MIR
+//! lowering in `matic-mir`, which must type compiler temporaries with the
+//! same rules sema used for user variables.
+
+use crate::types::{Class, Shape, Ty};
+use matic_frontend::ast::{BinOp, UnOp};
+
+/// Result type of `l op r`, plus whether the operand shapes provably
+/// conflict (callers may turn that into a diagnostic).
+pub fn binop_result(op: BinOp, l: Ty, r: Ty) -> (Ty, bool) {
+    if op.is_comparison() || matches!(op, BinOp::And | BinOp::Or) {
+        return match l.shape.broadcast(r.shape) {
+            Some(shape) => (Ty::new(Class::Logical, shape), false),
+            None => (Ty::new(Class::Logical, Shape::unknown()), true),
+        };
+    }
+    if matches!(op, BinOp::AndAnd | BinOp::OrOr) {
+        return (Ty::new(Class::Logical, Shape::scalar()), false);
+    }
+    let class = l.class.arith(r.class);
+    match op {
+        BinOp::MatMul => {
+            if l.shape.is_scalar() || r.shape.is_scalar() {
+                let shape = if l.shape.is_scalar() { r.shape } else { l.shape };
+                (fold_const(op, l, r, Ty::new(class, shape)), false)
+            } else {
+                (
+                    Ty::new(
+                        class,
+                        Shape {
+                            rows: l.shape.rows,
+                            cols: r.shape.cols,
+                        },
+                    ),
+                    false,
+                )
+            }
+        }
+        BinOp::MatDiv | BinOp::MatLeftDiv | BinOp::MatPow => {
+            let shape = l.shape.broadcast(r.shape).unwrap_or_else(Shape::unknown);
+            (fold_const(op, l, r, Ty::new(class, shape)), false)
+        }
+        _ => match l.shape.broadcast(r.shape) {
+            Some(shape) => (fold_const(op, l, r, Ty::new(class, shape)), false),
+            None => (Ty::new(class, Shape::unknown()), true),
+        },
+    }
+}
+
+/// Result type of a unary operator.
+pub fn unop_result(op: UnOp, t: Ty) -> Ty {
+    match op {
+        UnOp::Neg => Ty {
+            class: t.class.arith(Class::Double),
+            shape: t.shape,
+            constant: t.constant.map(|v| -v),
+        },
+        UnOp::Plus => t,
+        UnOp::Not => Ty::new(Class::Logical, t.shape),
+    }
+}
+
+/// Constant-folds scalar arithmetic so dimension expressions like `n/2`
+/// keep propagating through inference.
+pub fn fold_const(op: BinOp, l: Ty, r: Ty, template: Ty) -> Ty {
+    let mut out = template;
+    if let (Some(a), Some(b)) = (l.constant, r.constant) {
+        let v = match op {
+            BinOp::Add => Some(a + b),
+            BinOp::Sub => Some(a - b),
+            BinOp::MatMul | BinOp::ElemMul => Some(a * b),
+            BinOp::MatDiv | BinOp::ElemDiv => Some(a / b),
+            BinOp::MatLeftDiv | BinOp::ElemLeftDiv => Some(b / a),
+            BinOp::MatPow | BinOp::ElemPow => Some(a.powf(b)),
+            _ => None,
+        };
+        if let Some(v) = v {
+            if out.shape.is_scalar() {
+                out.constant = Some(v);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Dim;
+
+    #[test]
+    fn elementwise_broadcast_and_mismatch() {
+        let v = Ty::new(Class::Double, Shape::row(Dim::Known(8)));
+        let s = Ty::double_scalar();
+        let (t, bad) = binop_result(BinOp::Add, v, s);
+        assert!(!bad);
+        assert_eq!(t.shape, Shape::row(Dim::Known(8)));
+
+        let w = Ty::new(Class::Double, Shape::row(Dim::Known(4)));
+        let (_, bad) = binop_result(BinOp::Add, v, w);
+        assert!(bad);
+    }
+
+    #[test]
+    fn comparison_is_logical() {
+        let (t, _) = binop_result(BinOp::Lt, Ty::double_scalar(), Ty::double_scalar());
+        assert_eq!(t.class, Class::Logical);
+    }
+
+    #[test]
+    fn constant_folding() {
+        let (t, _) = binop_result(BinOp::MatDiv, Ty::constant(32.0), Ty::constant(2.0));
+        assert_eq!(t.constant, Some(16.0));
+    }
+
+    #[test]
+    fn matmul_shape_rule() {
+        let a = Ty::new(Class::Double, Shape::known(2, 5));
+        let b = Ty::new(Class::Double, Shape::known(5, 3));
+        let (t, _) = binop_result(BinOp::MatMul, a, b);
+        assert_eq!(t.shape, Shape::known(2, 3));
+    }
+
+    #[test]
+    fn unop_not_is_logical() {
+        let t = unop_result(UnOp::Not, Ty::double_scalar());
+        assert_eq!(t.class, Class::Logical);
+        let t = unop_result(UnOp::Neg, Ty::constant(2.0));
+        assert_eq!(t.constant, Some(-2.0));
+    }
+}

@@ -1,0 +1,88 @@
+//! Retargeting walkthrough — the paper's central claim in action.
+//!
+//! The target processor is *data*: this example writes an ISA description
+//! to JSON, edits it (as a user adding support for their own ASIP would),
+//! reloads it, and recompiles the same MATLAB source for four different
+//! machines, comparing cycles.
+//!
+//! Run with: `cargo run --example retarget_isa`
+
+use matic::{arg, Compiler, Features, IsaSpec, OpClass, SimVal};
+
+const KERNEL: &str = r#"
+function y = mixdown(x, w, g)
+% Complex mix + real gain: y = g * (x .* conj(w))
+y = g * (x .* conj(w));
+end
+"#;
+
+fn cycles_on(spec: IsaSpec, src: &str) -> Result<u64, Box<dyn std::error::Error>> {
+    let args = [arg::cx_vector(512), arg::cx_vector(512), arg::scalar()];
+    let compiled = Compiler::new().target(spec).compile(src, "mixdown", &args)?;
+    let x: Vec<(f64, f64)> = (0..512).map(|i| ((i as f64).sin(), (i as f64).cos())).collect();
+    let w: Vec<(f64, f64)> = (0..512).map(|i| ((i as f64 * 0.3).cos(), 0.1)).collect();
+    let out = compiled.simulate(vec![
+        SimVal::cx_row(&x),
+        SimVal::cx_row(&w),
+        SimVal::scalar(0.5),
+    ])?;
+    Ok(out.cycles.total)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Export the reference target as JSON — the parameterized ISA
+    //    description users edit to describe their own processor.
+    let dsp16 = IsaSpec::dsp16();
+    let json_path = std::path::Path::new("target/dsp16.json");
+    std::fs::create_dir_all("target")?;
+    std::fs::write(json_path, dsp16.to_json())?;
+    println!("ISA description written to {}", json_path.display());
+
+    // 2. Reload and derive a custom machine from it: 4 lanes, pricier
+    //    multiplies, different intrinsic prefix.
+    let mut custom = IsaSpec::from_json(&std::fs::read_to_string(json_path)?)?;
+    custom.name = "my_asip".to_string();
+    custom.vector_width = 4;
+    custom.intrinsic_prefix = "__my".to_string();
+    custom.costs.set_cost(OpClass::VectorMul, 3);
+    custom.validate()?;
+
+    // 3. Same source, four machines.
+    let targets = vec![
+        IsaSpec::scalar_baseline(),
+        IsaSpec::with_features(Features {
+            simd: false,
+            complex: true,
+            mac: true,
+        }),
+        custom.clone(),
+        dsp16,
+    ];
+
+    println!("\n{:<22} {:>10}  note", "target", "cycles");
+    println!("{}", "-".repeat(56));
+    let mut scalar_cycles = None;
+    for spec in targets {
+        let name = spec.name.clone();
+        let note = spec.description.clone();
+        let c = cycles_on(spec, KERNEL)?;
+        if scalar_cycles.is_none() {
+            scalar_cycles = Some(c);
+        }
+        let s = scalar_cycles.expect("set") as f64 / c as f64;
+        println!("{name:<22} {c:>10}  ({s:.2}x)  {note}");
+    }
+
+    // 4. Show that the custom prefix really lands in the generated C.
+    let compiled = Compiler::new()
+        .target(custom)
+        .compile(KERNEL, "mixdown", &[arg::cx_vector(512), arg::cx_vector(512), arg::scalar()])?;
+    let line = compiled
+        .c
+        .source
+        .lines()
+        .find(|l| l.contains("__my_"))
+        .unwrap_or("(no intrinsic line found)");
+    println!("\ngenerated C uses the custom intrinsic prefix:\n  {}", line.trim());
+    Ok(())
+}

@@ -1,0 +1,2 @@
+//! Umbrella library: re-exports the matic compiler facade for integration tests.
+pub use matic::*;

@@ -1,0 +1,145 @@
+//! Hardest end-to-end check: the generated ANSI C (with its emitted
+//! runtime and intrinsics headers) is compiled by the *host* C compiler,
+//! executed, and its outputs compared against the reference interpreter —
+//! for every benchmark, at both optimization levels.
+//!
+//! Skipped gracefully when no C compiler is installed.
+
+use matic::{CValue, Compiler, Harness, OptLevel};
+use matic_benchkit::{outputs_close, SUITE};
+use std::path::PathBuf;
+use std::process::Command;
+
+fn cc() -> Option<&'static str> {
+    for cand in ["cc", "gcc", "clang"] {
+        if Command::new(cand)
+            .arg("--version")
+            .output()
+            .map(|o| o.status.success())
+            .unwrap_or(false)
+        {
+            return Some(cand);
+        }
+    }
+    None
+}
+
+fn test_size(id: &str) -> usize {
+    match id {
+        "matmul" => 8,
+        "fft" => 64,
+        _ => 96,
+    }
+}
+
+fn unique_dir(tag: &str) -> PathBuf {
+    let pid = std::process::id();
+    let t = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .expect("clock")
+        .as_nanos();
+    std::env::temp_dir().join(format!("matic_diff_{tag}_{pid}_{t}"))
+}
+
+fn run_c_kernel(
+    compiled: &matic::Compiled,
+    inputs: &[CValue],
+    tag: &str,
+    compiler: &str,
+) -> Vec<CValue> {
+    let entry = compiled
+        .mir
+        .function(&compiled.entry)
+        .expect("entry in MIR");
+    let main_src = Harness
+        .main_source(entry, inputs, 1)
+        .expect("harness generated");
+    let dir = unique_dir(tag);
+    let c_path = matic_codegen::write_module(&dir, &compiled.c, Some(&main_src))
+        .expect("module written");
+    let exe = dir.join("prog");
+    let out = Command::new(compiler)
+        .args(["-std=c99", "-O1", "-w", "-o"])
+        .arg(&exe)
+        .arg(&c_path)
+        .arg("-lm")
+        .output()
+        .expect("cc invocation");
+    assert!(
+        out.status.success(),
+        "{tag}: C compilation failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let run = Command::new(&exe).output().expect("kernel runs");
+    assert!(
+        run.status.success(),
+        "{tag}: kernel exited with failure:\n{}",
+        String::from_utf8_lossy(&run.stderr)
+    );
+    let parsed = CValue::parse_outputs(&String::from_utf8_lossy(&run.stdout))
+        .unwrap_or_else(|e| panic!("{tag}: bad harness output: {e}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    parsed
+}
+
+#[test]
+fn generated_c_matches_interpreter_for_every_benchmark() {
+    let Some(compiler) = cc() else {
+        eprintln!("skipping: no C compiler found");
+        return;
+    };
+    for b in SUITE {
+        let n = test_size(b.id);
+        let inputs = b.inputs(n, 4242);
+        let expected = &b.reference_outputs(&inputs).expect("interp ok")[0];
+        for (label, opt) in [("base", OptLevel::baseline()), ("opt", OptLevel::full())] {
+            let compiled = Compiler::new()
+                .opt_level(opt)
+                .compile(b.source, b.entry, &b.arg_types(n))
+                .unwrap_or_else(|e| panic!("{} [{label}]: {e}", b.id));
+            let outs = run_c_kernel(
+                &compiled,
+                &inputs,
+                &format!("{}_{label}", b.id),
+                compiler,
+            );
+            assert_eq!(outs.len(), 1, "{} [{label}]: one output expected", b.id);
+            outputs_close(&outs[0], expected, 1e-9)
+                .unwrap_or_else(|e| panic!("{} [{label}]: {e}", b.id));
+        }
+    }
+}
+
+#[test]
+fn generated_c_is_target_portable() {
+    // The same kernel generated for different ISA descriptions must all
+    // compile and agree — the retargetability claim, checked end to end.
+    let Some(compiler) = cc() else {
+        eprintln!("skipping: no C compiler found");
+        return;
+    };
+    let b = matic_benchkit::benchmark("cmult").expect("cmult exists");
+    let n = 32;
+    let inputs = b.inputs(n, 9);
+    let expected = &b.reference_outputs(&inputs).expect("interp ok")[0];
+    let targets = [
+        matic::IsaSpec::dsp16(),
+        matic::IsaSpec::scalar_baseline(),
+        matic::IsaSpec::with_width(4),
+        matic::IsaSpec::with_features(matic::Features {
+            simd: false,
+            complex: true,
+            mac: true,
+        }),
+    ];
+    for spec in targets {
+        let name = spec.name.clone();
+        let compiled = Compiler::new()
+            .target(spec)
+            .compile(b.source, b.entry, &b.arg_types(n))
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let outs = run_c_kernel(&compiled, &inputs, &format!("retarget_{name}"), compiler);
+        outputs_close(&outs[0], expected, 1e-9)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
+}

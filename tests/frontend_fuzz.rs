@@ -1,0 +1,88 @@
+//! Robustness fuzzing: the frontend must never panic, whatever bytes it
+//! is fed — it either parses or reports diagnostics.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary ASCII soup never panics the lexer/parser.
+    #[test]
+    fn parser_never_panics_on_ascii(src in "[ -~\n\t]{0,200}") {
+        let _ = matic::parse(&src);
+    }
+
+    /// Arbitrary UTF-8 never panics either.
+    #[test]
+    fn parser_never_panics_on_unicode(src in "\\PC{0,80}") {
+        let _ = matic::parse(&src);
+    }
+
+    /// MATLAB-shaped token soup: plausible statement fragments in random
+    /// order stress the recovery paths harder than raw bytes.
+    #[test]
+    fn parser_recovers_from_token_soup(
+        toks in proptest::collection::vec(
+            prop_oneof![
+                Just("for"), Just("end"), Just("if"), Just("while"),
+                Just("function"), Just("="), Just("("), Just(")"),
+                Just("["), Just("]"), Just(";"), Just(","), Just(":"),
+                Just("+"), Just("*"), Just(".^"), Just("'"), Just("x"),
+                Just("1"), Just("2.5"), Just("3i"), Just("\n"),
+                Just("..."), Just("%c"), Just("'s'"), Just("~"),
+            ],
+            0..60,
+        )
+    ) {
+        let src: String = toks.join(" ");
+        let _ = matic::parse(&src);
+    }
+
+    /// Whatever parses cleanly must also pretty-print and re-parse
+    /// cleanly (no printer-introduced syntax errors).
+    #[test]
+    fn clean_parses_reprint_cleanly(
+        toks in proptest::collection::vec(
+            prop_oneof![
+                Just("x"), Just("y"), Just("1"), Just("2"), Just("+"),
+                Just("*"), Just("("), Just(")"), Just("="), Just(";"),
+                Just("\n"),
+            ],
+            0..40,
+        )
+    ) {
+        let src: String = toks.join(" ");
+        let (program, diags) = matic::parse(&src);
+        if !diags.has_errors() {
+            let printed = matic_frontend::print_program(&program);
+            let (_, d2) = matic::parse(&printed);
+            prop_assert!(
+                !d2.has_errors(),
+                "printer broke a clean parse:\nsrc: {src:?}\nprinted:\n{printed}"
+            );
+        }
+    }
+}
+
+/// The interpreter must also never panic on programs that parse — fuel
+/// and errors, never unwinding.
+#[test]
+fn interpreter_handles_adversarial_programs() {
+    let cases = [
+        "x = [];\ny = x(1);",                    // index empty
+        "x = 1;\nx(0) = 2;",                     // zero index
+        "x = [1 2] * [3 4];",                    // inner dim mismatch
+        "x = 'abc' + 1;",                        // char arithmetic
+        "while 1\nend",                          // empty infinite loop (fuel)
+        "x = zeros(1e3, 1e3);\ny = x * x;",      // big but bounded
+        "f = @(x) f(x);\ny = f(1);",             // self-capturing handle
+        "x = 1 / 0;\ny = 0 / 0;\nz = x - x;",    // inf/nan arithmetic
+    ];
+    for src in cases {
+        let Ok(mut interp) = matic::Interpreter::from_source(src) else {
+            continue;
+        };
+        interp.set_fuel(200_000);
+        let _ = interp.run_script(); // may err; must not panic
+    }
+}

@@ -1,0 +1,125 @@
+//! Interprocedural integration tests: inlining must preserve semantics
+//! (vs. the interpreter, which performs real calls) and expose idioms
+//! across call boundaries to the vectorizer.
+
+use matic::{arg, Compiler, OptLevel, SimVal};
+
+/// A dot product whose per-element work lives in a helper function.
+const SRC: &str = "\
+function s = top(a, b, n)
+s = 0;
+for i = 1:n
+    s = s + prodat(a, b, i);
+end
+end
+function p = prodat(a, b, i)
+p = a(i) * b(i);
+end";
+
+#[test]
+fn inlined_pipeline_matches_interpreter() {
+    let n = 32;
+    let args = [arg::vector(n), arg::vector(n), arg::scalar()];
+    let a: Vec<f64> = (0..n).map(|i| i as f64 - 10.0).collect();
+    let b: Vec<f64> = (0..n).map(|i| 2.0 * i as f64 + 1.0).collect();
+
+    let mut interp = matic::Interpreter::from_source(SRC).expect("parses");
+    let expected = interp
+        .call(
+            "top",
+            vec![
+                matic_benchkit::to_interp(&matic::CValue::row(&a)),
+                matic_benchkit::to_interp(&matic::CValue::row(&b)),
+                matic::Value::scalar(n as f64),
+            ],
+            1,
+        )
+        .expect("interp ok")[0]
+        .as_matrix()
+        .unwrap()
+        .as_real_scalar()
+        .unwrap();
+
+    let compiled = Compiler::new().compile(SRC, "top", &args).expect("compiles");
+    let out = compiled
+        .simulate(vec![
+            SimVal::row(&a),
+            SimVal::row(&b),
+            SimVal::scalar(n as f64),
+        ])
+        .expect("simulates");
+    assert_eq!(out.outputs[0].as_cx().unwrap().re, expected);
+}
+
+#[test]
+fn inlining_exposes_mac_across_call_boundary() {
+    let n = 256;
+    let args = [arg::vector(n), arg::vector(n), arg::scalar()];
+    let full = Compiler::new().compile(SRC, "top", &args).expect("compiles");
+    assert_eq!(
+        full.report.loops.macs, 1,
+        "after inlining the loop body is a recognizable MAC: {:?}",
+        full.report
+    );
+    // Without inlining the call blocks recognition.
+    let no_inline = Compiler::new()
+        .opt_level(OptLevel {
+            inline: false,
+            ..OptLevel::full()
+        })
+        .compile(SRC, "top", &args)
+        .expect("compiles");
+    assert_eq!(no_inline.report.loops.macs, 0);
+
+    // And the cycle counts show it.
+    let a: Vec<f64> = (0..n).map(|i| (i as f64 * 0.1).sin()).collect();
+    let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.2).cos()).collect();
+    let inputs = vec![
+        SimVal::row(&a),
+        SimVal::row(&b),
+        SimVal::scalar(n as f64),
+    ];
+    let with = full.simulate(inputs.clone()).expect("sim").cycles.total;
+    let without = no_inline.simulate(inputs).expect("sim").cycles.total;
+    assert!(
+        with * 3 < without,
+        "inlining+vectorization should win big: {with} vs {without}"
+    );
+}
+
+#[test]
+fn generated_c_has_no_helper_call_after_inlining() {
+    let compiled = Compiler::new()
+        .compile(SRC, "top", &[arg::vector(16), arg::vector(16), arg::scalar()])
+        .expect("compiles");
+    // The helper is still emitted (it is a public function of the module)
+    // but the entry must not call it.
+    let body_start = compiled
+        .c
+        .source
+        .find("void mt_top(const")
+        .and_then(|p| compiled.c.source[p..].find('{').map(|q| p + q))
+        .expect("entry body");
+    let body_end = compiled.c.source[body_start..]
+        .find("\n}")
+        .map(|q| body_start + q)
+        .expect("body end");
+    let body = &compiled.c.source[body_start..body_end];
+    assert!(
+        !body.contains("mt_prodat("),
+        "entry still calls the helper:\n{body}"
+    );
+}
+
+#[test]
+fn recursion_still_compiles_and_runs() {
+    let src = "function y = fact(n)\nif n <= 1\n y = 1;\nelse\n y = n * fact(n - 1);\nend\nend";
+    let compiled = Compiler::new()
+        .compile(src, "fact", &[arg::scalar()])
+        .expect("compiles");
+    assert!(compiled.c.source.contains("mt_fact(")); // self-call retained
+    let out = compiled
+        .simulate(vec![SimVal::scalar(6.0)])
+        .expect("simulates");
+    assert_eq!(out.outputs[0].as_cx().unwrap().re, 720.0);
+}

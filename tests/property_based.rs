@@ -1,0 +1,188 @@
+//! Property-based tests over the whole toolchain.
+//!
+//! Random programs from a small expression grammar are run through the
+//! reference interpreter and through the compile→simulate pipeline; both
+//! must agree exactly. Separately, the vectorizer must be semantics-
+//! preserving for arbitrary sizes, and parsing must round-trip through
+//! the pretty-printer.
+
+use matic::{arg, Compiler, OptLevel, SimVal};
+use proptest::prelude::*;
+
+// ---- random scalar expression programs -------------------------------------
+
+/// A tiny expression AST we can render as MATLAB.
+#[derive(Debug, Clone)]
+enum E {
+    X,
+    Y,
+    K(i32),
+    Add(Box<E>, Box<E>),
+    Sub(Box<E>, Box<E>),
+    Mul(Box<E>, Box<E>),
+    Neg(Box<E>),
+    Abs(Box<E>),
+    Min(Box<E>, Box<E>),
+}
+
+fn expr_strategy() -> impl Strategy<Value = E> {
+    let leaf = prop_oneof![
+        Just(E::X),
+        Just(E::Y),
+        (-9i32..10).prop_map(E::K),
+    ];
+    leaf.prop_recursive(4, 32, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Add(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Sub(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Mul(a.into(), b.into())),
+            inner.clone().prop_map(|a| E::Neg(a.into())),
+            inner.clone().prop_map(|a| E::Abs(a.into())),
+            (inner.clone(), inner).prop_map(|(a, b)| E::Min(a.into(), b.into())),
+        ]
+    })
+}
+
+fn render(e: &E) -> String {
+    match e {
+        E::X => "x".into(),
+        E::Y => "y".into(),
+        E::K(k) => {
+            if *k < 0 {
+                format!("({k})")
+            } else {
+                k.to_string()
+            }
+        }
+        E::Add(a, b) => format!("({} + {})", render(a), render(b)),
+        E::Sub(a, b) => format!("({} - {})", render(a), render(b)),
+        E::Mul(a, b) => format!("({} * {})", render(a), render(b)),
+        E::Neg(a) => format!("(-{})", render(a)),
+        E::Abs(a) => format!("abs({})", render(a)),
+        E::Min(a, b) => format!("min({}, {})", render(a), render(b)),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Compiled-and-simulated scalar programs agree exactly with the
+    /// interpreter (integer inputs keep floating point exact).
+    #[test]
+    fn compiled_scalar_exprs_match_interpreter(
+        e in expr_strategy(),
+        x in -50i32..50,
+        y in -50i32..50,
+    ) {
+        let src = format!(
+            "function r = f(x, y)\nr = {};\nend",
+            render(&e)
+        );
+        // Oracle.
+        let mut interp = matic::Interpreter::from_source(&src).expect("parse");
+        let expected = interp
+            .call("f", vec![
+                matic::Value::scalar(x as f64),
+                matic::Value::scalar(y as f64),
+            ], 1)
+            .expect("interp runs")[0]
+            .as_matrix().expect("numeric")
+            .as_real_scalar().expect("real");
+        // Pipeline.
+        let compiled = Compiler::new()
+            .compile(&src, "f", &[arg::scalar(), arg::scalar()])
+            .expect("compiles");
+        let out = compiled
+            .simulate(vec![SimVal::scalar(x as f64), SimVal::scalar(y as f64)])
+            .expect("simulates");
+        let got = out.outputs[0].as_cx().expect("scalar").re;
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Vectorization is semantics-preserving: baseline and full pipelines
+    /// agree bit-for-bit on an element-wise/MAC kernel for arbitrary sizes
+    /// and integer contents.
+    #[test]
+    fn vectorization_preserves_semantics(
+        n in 1usize..40,
+        seed in 0u64..1000,
+    ) {
+        let src = "function [s, z] = k(a, b, g)\n\
+                   z = g * a + b .* a;\n\
+                   s = sum(a .* b);\n\
+                   end";
+        let args = [arg::vector(n), arg::vector(n), arg::scalar()];
+        let mut st = seed.wrapping_mul(0x9E3779B97F4A7C15).max(1);
+        let mut next = move || {
+            st ^= st >> 12; st ^= st << 25; st ^= st >> 27;
+            ((st >> 58) as i64 - 32) as f64
+        };
+        let a: Vec<f64> = (0..n).map(|_| next()).collect();
+        let b: Vec<f64> = (0..n).map(|_| next()).collect();
+        let inputs = vec![SimVal::row(&a), SimVal::row(&b), SimVal::scalar(3.0)];
+
+        let base = Compiler::new().opt_level(OptLevel::baseline())
+            .compile(src, "k", &args).expect("baseline compiles");
+        let full = Compiler::new()
+            .compile(src, "k", &args).expect("full compiles");
+        let rb = base.simulate(inputs.clone()).expect("baseline sim");
+        let rf = full.simulate(inputs).expect("full sim");
+        prop_assert_eq!(&rb.outputs, &rf.outputs);
+        // And the optimized build must never be slower.
+        prop_assert!(rf.cycles.total <= rb.cycles.total);
+    }
+
+    /// Slicing kernels agree between pipelines for arbitrary slice bounds.
+    #[test]
+    fn slice_kernels_preserve_semantics(
+        n in 4usize..64,
+        seed in 0u64..500,
+    ) {
+        let lo = 1 + seed as usize % (n / 2);
+        let hi = n / 2 + 1 + (seed as usize / 7) % (n / 2);
+        let src = format!(
+            "function y = k(x)\n\
+             y = zeros(1, {len});\n\
+             y(1:{len}) = x({lo}:{hi});\n\
+             y = y + x(1:{len});\n\
+             end",
+            len = hi - lo + 1,
+        );
+        let args = [arg::vector(n)];
+        let x: Vec<f64> = (0..n).map(|i| (i as f64) - 7.0).collect();
+        let base = Compiler::new().opt_level(OptLevel::baseline())
+            .compile(&src, "k", &args).expect("baseline compiles");
+        let full = Compiler::new()
+            .compile(&src, "k", &args).expect("full compiles");
+        let rb = base.simulate(vec![SimVal::row(&x)]).expect("baseline sim");
+        let rf = full.simulate(vec![SimVal::row(&x)]).expect("full sim");
+        prop_assert_eq!(&rb.outputs, &rf.outputs);
+    }
+
+    /// Pretty-printed programs re-parse to the same printed form
+    /// (printer is a fixpoint under parse ∘ print).
+    #[test]
+    fn printer_is_parse_fixpoint(e in expr_strategy()) {
+        let src = format!("function r = f(x, y)\nr = {};\nend", render(&e));
+        let (p1, d1) = matic::parse(&src);
+        prop_assert!(!d1.has_errors());
+        let printed = matic_frontend::print_program(&p1);
+        let (p2, d2) = matic::parse(&printed);
+        prop_assert!(!d2.has_errors(), "reparse failed:\n{}", printed);
+        prop_assert_eq!(printed, matic_frontend::print_program(&p2));
+    }
+}
+
+/// Simulator fuel protects against non-terminating programs.
+#[test]
+fn simulator_fuel_is_respected() {
+    let src = "function y = f(x)\ny = 0;\nwhile 1 > 0\n y = y + 1;\nend\nend";
+    let compiled = Compiler::new()
+        .compile(src, "f", &[arg::scalar()])
+        .expect("compiles — nontermination is a runtime property");
+    let machine = matic::AsipMachine::new(matic::IsaSpec::dsp16()).with_fuel(100_000);
+    let err = machine
+        .run(&compiled.mir, "f", vec![SimVal::scalar(1.0)])
+        .expect_err("must hit the fuel limit");
+    assert!(err.message.contains("fuel"));
+}

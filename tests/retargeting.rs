@@ -1,0 +1,149 @@
+//! Retargetability integration tests — the paper's parameterized-ISA
+//! claim, exercised across the crate boundary.
+
+use matic::{arg, Compiler, Features, IsaSpec, OpClass, OptLevel, SimVal};
+use matic_benchkit::{benchmark, to_sim};
+
+const KERNEL: &str = "function y = gain(x, k)\ny = k .* x;\nend";
+
+#[test]
+fn isa_description_round_trips_through_compilation() {
+    // Export → edit → reload → compile must behave identically to using
+    // the in-memory spec.
+    let spec = IsaSpec::dsp16();
+    let json = spec.to_json();
+    let reloaded = IsaSpec::from_json(&json).expect("round-trips");
+    assert_eq!(spec, reloaded);
+
+    let args = [arg::vector(64), arg::scalar()];
+    let a = Compiler::new()
+        .target(spec)
+        .compile(KERNEL, "gain", &args)
+        .expect("compiles");
+    let b = Compiler::new()
+        .target(reloaded)
+        .compile(KERNEL, "gain", &args)
+        .expect("compiles");
+    assert_eq!(a.c.source, b.c.source);
+}
+
+#[test]
+fn intrinsic_prefix_is_a_parameter() {
+    let mut spec = IsaSpec::dsp16();
+    spec.intrinsic_prefix = "__vendor".to_string();
+    let compiled = Compiler::new()
+        .target(spec)
+        .compile(KERNEL, "gain", &[arg::vector(64), arg::scalar()])
+        .expect("compiles");
+    assert!(compiled.c.source.contains("__vendor_vmul"));
+    assert!(!compiled.c.source.contains("__asip_"));
+    assert!(compiled.c.intrinsics_header.contains("__vendor_vmac"));
+}
+
+#[test]
+fn all_feature_combinations_compile_and_agree() {
+    // 8 feature combinations × one complex kernel: everything must
+    // compile and produce identical simulated outputs (only cycles may
+    // differ).
+    let src = "function y = mix(x, w)\ny = x .* conj(w);\nend";
+    let args = [arg::cx_vector(48), arg::cx_vector(48)];
+    let x: Vec<(f64, f64)> = (0..48).map(|i| (i as f64, -(i as f64))).collect();
+    let w: Vec<(f64, f64)> = (0..48).map(|i| (1.0, i as f64 * 0.25)).collect();
+    let inputs = vec![SimVal::cx_row(&x), SimVal::cx_row(&w)];
+
+    let mut reference: Option<Vec<SimVal>> = None;
+    for simd in [false, true] {
+        for complex in [false, true] {
+            for mac in [false, true] {
+                let spec = IsaSpec::with_features(Features { simd, complex, mac });
+                let compiled = Compiler::new()
+                    .target(spec.clone())
+                    .compile(src, "mix", &args)
+                    .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+                let out = compiled
+                    .simulate(inputs.clone())
+                    .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+                match &reference {
+                    None => reference = Some(out.outputs),
+                    Some(r) => assert_eq!(&out.outputs, r, "{} diverged", spec.name),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn wider_simd_never_costs_more_on_data_parallel_kernels() {
+    let b = benchmark("fir").expect("fir exists");
+    let n = 256;
+    let inputs: Vec<_> = b.inputs(n, 11).iter().map(to_sim).collect();
+    let mut prev = u64::MAX;
+    for w in [1usize, 2, 4, 8, 16, 32] {
+        let compiled = Compiler::new()
+            .target(IsaSpec::with_width(w))
+            .compile(b.source, b.entry, &b.arg_types(n))
+            .expect("compiles");
+        let cycles = compiled
+            .simulate(inputs.clone())
+            .expect("simulates")
+            .cycles
+            .total;
+        assert!(
+            cycles <= prev,
+            "width {w} regressed: {cycles} > {prev}"
+        );
+        prev = cycles;
+    }
+}
+
+#[test]
+fn cost_model_overrides_flow_into_cycle_counts() {
+    let b = benchmark("fir").expect("fir exists");
+    let n = 128;
+    let inputs: Vec<_> = b.inputs(n, 3).iter().map(to_sim).collect();
+    let cheap = IsaSpec::dsp16();
+    let mut dear = IsaSpec::dsp16();
+    dear.costs.set_cost(OpClass::VectorMac, 20);
+    let run = |spec: IsaSpec| {
+        Compiler::new()
+            .target(spec)
+            .compile(b.source, b.entry, &b.arg_types(n))
+            .expect("compiles")
+            .simulate(inputs.clone())
+            .expect("simulates")
+            .cycles
+            .total
+    };
+    assert!(
+        run(dear) > run(cheap),
+        "a 10x dearer MAC must show up in the totals"
+    );
+}
+
+#[test]
+fn baseline_opt_level_ignores_capable_hardware() {
+    // Even on a fully capable target, the baseline pipeline must model
+    // MATLAB-Coder-style code: no intrinsics in C, no custom-instruction
+    // cycles in simulation.
+    let b = benchmark("cmult").expect("cmult exists");
+    let n = 64;
+    let compiled = Compiler::new()
+        .opt_level(OptLevel::baseline())
+        .compile(b.source, b.entry, &b.arg_types(n))
+        .expect("compiles");
+    assert!(!compiled.c.source.contains("__asip_"));
+    let out = compiled
+        .simulate(b.inputs(n, 4).iter().map(to_sim).collect())
+        .expect("simulates");
+    assert_eq!(out.cycles.vector_cycles(), 0);
+    assert_eq!(out.cycles.complex_cycles(), 0);
+}
+
+#[test]
+fn validation_rejects_malformed_target_files() {
+    let mut bad = IsaSpec::dsp16();
+    bad.vector_width = 0;
+    assert!(bad.validate().is_err());
+    // And a JSON file missing required fields fails to parse.
+    assert!(IsaSpec::from_json("{\"name\": \"x\"}").is_err());
+}
