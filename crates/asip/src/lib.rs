@@ -41,8 +41,10 @@
 //! # }
 //! ```
 
+pub mod decode;
 pub mod report;
 pub mod sim;
 
+pub use decode::{decode_program, DecodedProgram};
 pub use report::CycleReport;
-pub use sim::{AsipMachine, SimError, SimOutcome, SimVal};
+pub use sim::{AsipMachine, SimError, SimOutcome, SimVal, Simulator};

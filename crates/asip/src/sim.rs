@@ -9,6 +9,7 @@
 //! machine reproduces the paper's measurement: cycles of
 //! MATLAB-Coder-style code vs. cycles of custom-instruction code.
 
+use crate::decode::{decode_program, DInst, DecodedFunction, DecodedProgram};
 use crate::report::CycleReport;
 use matic_frontend::ast::{BinOp, UnOp};
 use matic_frontend::span::Span;
@@ -19,6 +20,7 @@ use matic_mir::{
     VecRef, VectorOp,
 };
 use std::fmt;
+use std::sync::Arc;
 
 /// A simulated runtime value: scalar register or memory-resident array.
 #[derive(Debug, Clone, PartialEq)]
@@ -109,10 +111,33 @@ pub struct SimOutcome {
     pub printed: String,
 }
 
+/// Per-class cycle costs and availability, pre-resolved from an
+/// [`IsaSpec`] into flat arrays indexed by `OpClass as usize`. The hot
+/// execution loop charges cycles through this table instead of walking the
+/// spec's `BTreeMap` cost model on every operation.
+#[derive(Debug, Clone)]
+struct CostTable {
+    cost: [u32; OpClass::COUNT],
+    supports: [bool; OpClass::COUNT],
+}
+
+impl CostTable {
+    fn new(spec: &IsaSpec) -> CostTable {
+        let mut cost = [0u32; OpClass::COUNT];
+        let mut supports = [false; OpClass::COUNT];
+        for &op in OpClass::ALL {
+            cost[op as usize] = spec.cost(op);
+            supports[op as usize] = spec.supports(op);
+        }
+        CostTable { cost, supports }
+    }
+}
+
 /// The virtual ASIP.
 #[derive(Debug, Clone)]
 pub struct AsipMachine {
-    spec: IsaSpec,
+    spec: Arc<IsaSpec>,
+    costs: CostTable,
     /// Whether vector operations may use the target's custom instructions
     /// (mirrors the C backend's `use_intrinsics`).
     use_intrinsics: bool,
@@ -123,8 +148,16 @@ pub struct AsipMachine {
 impl AsipMachine {
     /// A machine implementing `spec`.
     pub fn new(spec: IsaSpec) -> AsipMachine {
+        AsipMachine::from_shared(Arc::new(spec))
+    }
+
+    /// A machine implementing an already-shared `spec` (avoids cloning the
+    /// spec when many machines target the same ISA).
+    pub fn from_shared(spec: Arc<IsaSpec>) -> AsipMachine {
+        let costs = CostTable::new(&spec);
         AsipMachine {
             spec,
+            costs,
             use_intrinsics: true,
             fuel: 2_000_000_000,
         }
@@ -151,6 +184,10 @@ impl AsipMachine {
 
     /// Runs `entry` of `mir` with `inputs`, returning outputs + cycles.
     ///
+    /// Decodes the program into its linear form first and executes on the
+    /// pre-decoded engine. For repeated invocations of the same program,
+    /// [`AsipMachine::load`] amortizes the decode across runs.
+    ///
     /// # Errors
     ///
     /// Returns a [`SimError`] for arity mismatches, out-of-bounds
@@ -161,23 +198,99 @@ impl AsipMachine {
         entry: &str,
         inputs: Vec<SimVal>,
     ) -> Result<SimOutcome, SimError> {
+        let decoded = decode_program(mir);
+        self.run_decoded(mir, &decoded, entry, inputs)
+    }
+
+    /// Runs `entry` on the original tree-walking engine (no decode stage).
+    ///
+    /// Kept as the reference semantics: the differential test suite checks
+    /// that [`AsipMachine::run`] produces bit-identical outputs and cycle
+    /// reports against this path.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`AsipMachine::run`].
+    pub fn run_interpreted(
+        &self,
+        mir: &MirProgram,
+        entry: &str,
+        inputs: Vec<SimVal>,
+    ) -> Result<SimOutcome, SimError> {
         let func = mir
             .function(entry)
             .ok_or_else(|| SimError::new(format!("entry `{entry}` not found"), Span::dummy()))?;
-        let mut exec = Exec {
+        let mut exec = Exec::new(self, mir, None);
+        let outputs = exec.call(func, inputs)?;
+        Ok(exec.finish(outputs))
+    }
+
+    /// Pre-decodes `mir` and returns a reusable simulator bound to
+    /// `entry`. Repeated [`Simulator::run`] calls skip the decode and spec
+    /// setup entirely.
+    pub fn load<'m>(self, mir: &'m MirProgram, entry: &str) -> Simulator<'m> {
+        let decoded = Arc::new(decode_program(mir));
+        self.load_decoded(mir, decoded, entry)
+    }
+
+    /// Like [`AsipMachine::load`] but reuses an already-decoded program
+    /// (e.g. a compilation pipeline's cache).
+    pub fn load_decoded<'m>(
+        self,
+        mir: &'m MirProgram,
+        decoded: Arc<DecodedProgram>,
+        entry: &str,
+    ) -> Simulator<'m> {
+        Simulator {
             machine: self,
             mir,
-            cycles: CycleReport::new(),
-            printed: String::new(),
-            fuel: self.fuel,
-            depth: 0,
-        };
-        let outputs = exec.call(func, inputs)?;
-        Ok(SimOutcome {
-            outputs,
-            cycles: exec.cycles,
-            printed: exec.printed,
-        })
+            decoded,
+            entry: entry.to_string(),
+        }
+    }
+
+    pub(crate) fn run_decoded(
+        &self,
+        mir: &MirProgram,
+        decoded: &DecodedProgram,
+        entry: &str,
+        inputs: Vec<SimVal>,
+    ) -> Result<SimOutcome, SimError> {
+        let idx = decoded
+            .func_index(entry)
+            .ok_or_else(|| SimError::new(format!("entry `{entry}` not found"), Span::dummy()))?;
+        let mut exec = Exec::new(self, mir, Some(decoded));
+        let outputs = exec.call_decoded(&mir.functions[idx], &decoded.funcs[idx], inputs)?;
+        Ok(exec.finish(outputs))
+    }
+}
+
+/// A machine with a program already decoded and an entry point resolved —
+/// the reusable-run API. Construction (via [`AsipMachine::load`]) pays for
+/// the decode once; each [`Simulator::run`] then only allocates the
+/// per-call environment.
+#[derive(Debug, Clone)]
+pub struct Simulator<'m> {
+    machine: AsipMachine,
+    mir: &'m MirProgram,
+    decoded: Arc<DecodedProgram>,
+    entry: String,
+}
+
+impl Simulator<'_> {
+    /// Runs the loaded entry function with `inputs`.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`AsipMachine::run`].
+    pub fn run(&self, inputs: Vec<SimVal>) -> Result<SimOutcome, SimError> {
+        self.machine
+            .run_decoded(self.mir, &self.decoded, &self.entry, inputs)
+    }
+
+    /// The underlying machine.
+    pub fn machine(&self) -> &AsipMachine {
+        &self.machine
     }
 }
 
@@ -191,7 +304,19 @@ enum Flow {
 struct Exec<'a> {
     machine: &'a AsipMachine,
     mir: &'a MirProgram,
-    cycles: CycleReport,
+    /// `Some` when running on the pre-decoded engine; `None` on the
+    /// tree-walking reference path. Callees dispatch through the same
+    /// engine as their caller.
+    decoded: Option<&'a DecodedProgram>,
+    // Cycle accounting as flat accumulators (array indexed by
+    // `OpClass as usize`); folded into a `CycleReport` once at the end of
+    // the run. `touched` marks classes that were charged at least once —
+    // including zero-count charges — so the final report's per-class map
+    // matches what per-charge `BTreeMap` insertion would have produced.
+    total: u64,
+    instructions: u64,
+    by_class: [u64; OpClass::COUNT],
+    touched: u32,
     printed: String,
     fuel: u64,
     depth: u32,
@@ -200,13 +325,55 @@ struct Exec<'a> {
 type Env = Vec<Option<SimVal>>;
 
 impl<'a> Exec<'a> {
+    fn new(
+        machine: &'a AsipMachine,
+        mir: &'a MirProgram,
+        decoded: Option<&'a DecodedProgram>,
+    ) -> Exec<'a> {
+        Exec {
+            machine,
+            mir,
+            decoded,
+            total: 0,
+            instructions: 0,
+            by_class: [0; OpClass::COUNT],
+            touched: 0,
+            printed: String::new(),
+            fuel: machine.fuel,
+            depth: 0,
+        }
+    }
+
+    fn finish(self, outputs: Vec<SimVal>) -> SimOutcome {
+        let mut cycles = CycleReport::new();
+        cycles.total = self.total;
+        cycles.instructions = self.instructions;
+        for &op in OpClass::ALL {
+            if self.touched & (1 << op as usize) != 0 {
+                cycles.by_class.insert(op, self.by_class[op as usize]);
+            }
+        }
+        SimOutcome {
+            outputs,
+            cycles,
+            printed: self.printed,
+        }
+    }
+
     fn spec(&self) -> &IsaSpec {
         &self.machine.spec
     }
 
+    fn supports(&self, class: OpClass) -> bool {
+        self.machine.costs.supports[class as usize]
+    }
+
     fn charge(&mut self, class: OpClass, count: u64) {
-        let c = self.spec().cost(class);
-        self.cycles.charge(class, c, count);
+        let c = self.machine.costs.cost[class as usize] as u64 * count;
+        self.total += c;
+        self.instructions += count;
+        self.by_class[class as usize] += c;
+        self.touched |= 1 << class as usize;
     }
 
     fn burn(&mut self, span: Span) -> Result<(), SimError> {
@@ -220,7 +387,7 @@ impl<'a> Exec<'a> {
     // ---- complex-arithmetic cost helpers ---------------------------------
 
     fn cx_add_cost(&mut self, count: u64) {
-        if self.machine.use_intrinsics && self.spec().supports(OpClass::ComplexAdd) {
+        if self.machine.use_intrinsics && self.supports(OpClass::ComplexAdd) {
             self.charge(OpClass::ComplexAdd, count);
         } else {
             self.charge(OpClass::ScalarAlu, 2 * count);
@@ -228,7 +395,7 @@ impl<'a> Exec<'a> {
     }
 
     fn cx_mul_cost(&mut self, count: u64) {
-        if self.machine.use_intrinsics && self.spec().supports(OpClass::ComplexMul) {
+        if self.machine.use_intrinsics && self.supports(OpClass::ComplexMul) {
             self.charge(OpClass::ComplexMul, count);
         } else {
             self.charge(OpClass::ScalarMul, 4 * count);
@@ -237,7 +404,7 @@ impl<'a> Exec<'a> {
     }
 
     fn cx_mac_cost(&mut self, count: u64) {
-        if self.machine.use_intrinsics && self.spec().supports(OpClass::ComplexMac) {
+        if self.machine.use_intrinsics && self.supports(OpClass::ComplexMac) {
             self.charge(OpClass::ComplexMac, count);
         } else {
             self.cx_mul_cost(count);
@@ -317,6 +484,33 @@ impl<'a> Exec<'a> {
         Ok(outs)
     }
 
+    /// Calls a function by name through whichever engine this execution
+    /// runs on, borrowing the callee from the program (the seed
+    /// implementation cloned the whole `MirFunction` per call).
+    fn call_by_name(
+        &mut self,
+        name: &str,
+        inputs: Vec<SimVal>,
+        span: Span,
+    ) -> Result<Vec<SimVal>, SimError> {
+        match self.decoded {
+            Some(decoded) => {
+                let idx = decoded
+                    .func_index(name)
+                    .ok_or_else(|| SimError::new(format!("call to unknown `{name}`"), span))?;
+                let mir = self.mir;
+                self.call_decoded(&mir.functions[idx], &decoded.funcs[idx], inputs)
+            }
+            None => {
+                let mir = self.mir;
+                let callee = mir
+                    .function(name)
+                    .ok_or_else(|| SimError::new(format!("call to unknown `{name}`"), span))?;
+                self.call(callee, inputs)
+            }
+        }
+    }
+
     fn exec_block(
         &mut self,
         f: &MirFunction,
@@ -377,13 +571,7 @@ impl<'a> Exec<'a> {
         Ok(z.re)
     }
 
-    fn index0(
-        &self,
-        f: &MirFunction,
-        env: &Env,
-        op: Operand,
-        span: Span,
-    ) -> Result<i64, SimError> {
+    fn index0(&self, f: &MirFunction, env: &Env, op: Operand, span: Span) -> Result<i64, SimError> {
         Ok(self.real_of(f, env, op, span)? as i64 - 1)
     }
 
@@ -391,14 +579,26 @@ impl<'a> Exec<'a> {
         env[v.0 as usize] = Some(val);
     }
 
+    /// Takes `v` out of the environment for in-place mutation; the caller
+    /// must `set` it back. Where `get` would clone (and force a
+    /// copy-on-write duplication of the payload on the next write), this
+    /// leaves the mutator holding the only reference, so indexed stores
+    /// update arrays in place.
+    fn take_val(
+        &self,
+        f: &MirFunction,
+        env: &mut Env,
+        v: VarId,
+        span: Span,
+    ) -> Result<SimVal, SimError> {
+        env[v.0 as usize]
+            .take()
+            .ok_or_else(|| SimError::new(format!("read of unset `{}`", f.var(v).name), span))
+    }
+
     // ---- statements -----------------------------------------------------------
 
-    fn exec_stmt(
-        &mut self,
-        f: &MirFunction,
-        stmt: &Stmt,
-        env: &mut Env,
-    ) -> Result<Flow, SimError> {
+    fn exec_stmt(&mut self, f: &MirFunction, stmt: &Stmt, env: &mut Env) -> Result<Flow, SimError> {
         self.burn(Span::dummy())?;
         match stmt {
             Stmt::Def { dst, rv, span } => {
@@ -522,5 +722,6 @@ impl<'a> Exec<'a> {
     }
 }
 
+include!("sim_linear.rs");
 include!("sim_part2.rs");
 include!("sim_part3.rs");

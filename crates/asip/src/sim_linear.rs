@@ -1,0 +1,229 @@
+// The pre-decoded linear execution engine — included from sim.rs.
+//
+// Runs a `DecodedFunction`'s flat instruction stream with an explicit
+// program counter and a stack of loop frames, instead of recursing over
+// structured `Stmt` trees. Fuel burns and cycle charges are sequenced
+// exactly as the tree walker's `exec_stmt` would produce them; the
+// differential tests pin this bit-for-bit.
+
+/// Runtime state of one active loop in a decoded function.
+enum Frame {
+    /// A `for` loop: bounds evaluated once at `ForSetup`, `k` counts
+    /// completed iterations.
+    For {
+        var: VarId,
+        s: f64,
+        st: f64,
+        n: i64,
+        k: i64,
+    },
+    /// A `while` loop (no per-loop state; the frame exists so `break`
+    /// unwinds uniformly).
+    While,
+}
+
+impl<'a> Exec<'a> {
+    /// Calls `f` through its decoded body — same prologue/epilogue as the
+    /// tree walker's `call` (depth guard, arity check, `Call` charge,
+    /// parameter coercion, output collection).
+    fn call_decoded(
+        &mut self,
+        f: &'a MirFunction,
+        dfunc: &'a DecodedFunction,
+        inputs: Vec<SimVal>,
+    ) -> Result<Vec<SimVal>, SimError> {
+        if self.depth > 128 {
+            return Err(SimError::new("call depth exceeded", Span::dummy()));
+        }
+        if inputs.len() != f.params.len() {
+            return Err(SimError::new(
+                format!(
+                    "`{}` expects {} inputs, got {}",
+                    f.name,
+                    f.params.len(),
+                    inputs.len()
+                ),
+                Span::dummy(),
+            ));
+        }
+        self.depth += 1;
+        self.charge(OpClass::Call, 1);
+        let mut env: Env = vec![None; f.vars.len()];
+        for (&p, val) in f.params.iter().zip(inputs) {
+            // Coerce per the register's representation.
+            let coerced = if f.var_ty(p).shape.is_scalar() {
+                SimVal::Scalar(val.as_cx().map_err(|m| SimError::new(m, Span::dummy()))?)
+            } else {
+                SimVal::Arr(val.into_matrix())
+            };
+            env[p.0 as usize] = Some(coerced);
+        }
+        self.exec_linear(f, dfunc, &mut env)?;
+        let mut outs = Vec::new();
+        for &o in &f.outputs {
+            outs.push(env[o.0 as usize].clone().ok_or_else(|| {
+                SimError::new(
+                    format!("output `{}` never assigned", f.var(o).name),
+                    Span::dummy(),
+                )
+            })?);
+        }
+        self.depth -= 1;
+        Ok(outs)
+    }
+
+    fn exec_linear(
+        &mut self,
+        f: &MirFunction,
+        dfunc: &DecodedFunction,
+        env: &mut Env,
+    ) -> Result<(), SimError> {
+        let code = &dfunc.code;
+        let mut pc = 0usize;
+        let mut frames: Vec<Frame> = Vec::new();
+        while let Some(inst) = code.get(pc) {
+            match inst {
+                DInst::Def {
+                    dst,
+                    scalar_dst,
+                    rv,
+                    span,
+                } => {
+                    self.burn(Span::dummy())?;
+                    let val = self.eval_rvalue(f, env, *dst, rv, *span)?;
+                    // Coerce to the register representation.
+                    let val = if *scalar_dst {
+                        match val {
+                            SimVal::Arr(m) if m.is_scalar() => SimVal::Scalar(m.lin(0)),
+                            other => other,
+                        }
+                    } else {
+                        match val {
+                            SimVal::Scalar(z) => SimVal::Arr(Matrix::scalar(z)),
+                            other => other,
+                        }
+                    };
+                    self.set(env, *dst, val);
+                    pc += 1;
+                }
+                DInst::Store {
+                    array,
+                    indices,
+                    value,
+                    span,
+                } => {
+                    self.burn(Span::dummy())?;
+                    self.exec_store(f, env, *array, indices, *value, *span)?;
+                    pc += 1;
+                }
+                DInst::CallMulti {
+                    dsts,
+                    func,
+                    args,
+                    user,
+                    span,
+                } => {
+                    self.burn(Span::dummy())?;
+                    self.exec_call_multi(f, env, dsts, func, args, *user, *span)?;
+                    pc += 1;
+                }
+                DInst::Effect { name, args, span } => {
+                    self.burn(Span::dummy())?;
+                    self.exec_effect(f, env, name, args, *span)?;
+                    pc += 1;
+                }
+                DInst::VectorOp(vop) => {
+                    self.burn(Span::dummy())?;
+                    self.exec_vector_op(f, env, vop)?;
+                    pc += 1;
+                }
+                DInst::Branch {
+                    cond,
+                    if_false,
+                    burn,
+                    exit_loop,
+                } => {
+                    if *burn {
+                        self.burn(Span::dummy())?;
+                    }
+                    self.charge(OpClass::Branch, 1);
+                    if self.truthy(f, env, *cond)? {
+                        pc += 1;
+                    } else {
+                        if *exit_loop {
+                            frames.pop();
+                        }
+                        pc = *if_false as usize;
+                    }
+                }
+                DInst::Jump { target } => pc = *target as usize,
+                DInst::ForSetup {
+                    var,
+                    start,
+                    step,
+                    stop,
+                } => {
+                    self.burn(Span::dummy())?;
+                    let span = Span::dummy();
+                    let s = self.real_of(f, env, *start, span)?;
+                    let st = self.real_of(f, env, *step, span)?;
+                    let e = self.real_of(f, env, *stop, span)?;
+                    let n = if st == 0.0 {
+                        0
+                    } else {
+                        (((e - s) / st + 1e-10).floor() as i64 + 1).max(0)
+                    };
+                    frames.push(Frame::For {
+                        var: *var,
+                        s,
+                        st,
+                        n,
+                        k: 0,
+                    });
+                    pc += 1;
+                }
+                DInst::ForNext { end } => {
+                    let Some(Frame::For { var, s, st, n, k }) = frames.last_mut() else {
+                        unreachable!("ForNext without a for frame");
+                    };
+                    if *k >= *n {
+                        frames.pop();
+                        pc = *end as usize;
+                    } else {
+                        let (var, value) = (*var, *s + *st * *k as f64);
+                        *k += 1;
+                        self.burn(Span::dummy())?;
+                        // Loop control: induction update + branch.
+                        self.charge(OpClass::ScalarAlu, 1);
+                        self.charge(OpClass::Branch, 1);
+                        self.set(env, var, SimVal::scalar(value));
+                        pc += 1;
+                    }
+                }
+                DInst::WhileEnter => {
+                    self.burn(Span::dummy())?;
+                    frames.push(Frame::While);
+                    pc += 1;
+                }
+                DInst::WhileIter => {
+                    self.burn(Span::dummy())?;
+                    pc += 1;
+                }
+                DInst::Break { target } => {
+                    self.burn(Span::dummy())?;
+                    frames.pop();
+                    pc = *target as usize;
+                }
+                DInst::Continue { target } => {
+                    self.burn(Span::dummy())?;
+                    pc = *target as usize;
+                }
+                DInst::Return => {
+                    self.burn(Span::dummy())?;
+                    break;
+                }
+            }
+        }
+        Ok(())
+    }
+}

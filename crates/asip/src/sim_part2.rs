@@ -96,16 +96,11 @@ impl<'a> Exec<'a> {
             }
             Rvalue::Builtin { name, args } => self.eval_builtin(f, env, dst, name, args, span),
             Rvalue::Call { func, args } => {
-                let callee = self
-                    .mir
-                    .function(func)
-                    .ok_or_else(|| SimError::new(format!("call to unknown `{func}`"), span))?
-                    .clone();
                 let mut inputs = Vec::new();
                 for a in args {
                     inputs.push(self.operand(f, env, *a, span)?);
                 }
-                let mut outs = self.call(&callee, inputs)?;
+                let mut outs = self.call_by_name(func, inputs, span)?;
                 if outs.is_empty() {
                     return Err(SimError::new(
                         format!("`{func}` returns nothing but a value was expected"),
@@ -150,18 +145,17 @@ impl<'a> Exec<'a> {
     ) -> Result<SimVal, SimError> {
         let va = self.operand(f, env, a, span)?;
         let vb = self.operand(f, env, b, span)?;
-        match (&va, &vb) {
+        match (va, vb) {
             (SimVal::Scalar(x), SimVal::Scalar(y)) => {
                 let complex = !x.is_real() || !y.is_real();
                 self.scalar_binop_cost(op, complex);
-                let z = apply_binop_scalar(op, *x, *y)
-                    .map_err(|m| SimError::new(m, span))?;
+                let z = apply_binop_scalar(op, x, y).map_err(|m| SimError::new(m, span))?;
                 Ok(SimVal::Scalar(z))
             }
-            _ => {
+            (va, vb) => {
                 // Element-wise (or matmul) on arrays.
-                let ma = va.clone().into_matrix();
-                let mb = vb.clone().into_matrix();
+                let ma = va.into_matrix();
+                let mb = vb.into_matrix();
                 let complex = !ma.is_real() || !mb.is_real();
                 if op == BinOp::MatMul && !ma.is_scalar() && !mb.is_scalar() {
                     let out = ma.matmul(&mb).map_err(|m| SimError::new(m, span))?;
@@ -219,10 +213,12 @@ impl<'a> Exec<'a> {
         };
         match indices {
             [Index::Scalar(op)] => {
+                // Evaluate the subscript once and branch on its shape
+                // (the guard-plus-`index0` form evaluated it twice).
                 let iv = self.operand(f, env, *op, span)?;
                 match iv {
-                    SimVal::Scalar(_) => {
-                        let k = self.index0(f, env, *op, span)?;
+                    SimVal::Scalar(z) => {
+                        let k = z.re as i64 - 1;
                         self.charge(OpClass::ScalarAlu, 1);
                         self.charge(OpClass::Load, 1);
                         let z = *base
@@ -250,12 +246,13 @@ impl<'a> Exec<'a> {
                     }
                 }
             }
-            [Index::Scalar(r), Index::Scalar(c)]
-                if matches!(self.operand(f, env, *r, span)?, SimVal::Scalar(_))
-                    && matches!(self.operand(f, env, *c, span)?, SimVal::Scalar(_)) =>
-            {
-                let r0 = self.index0(f, env, *r, span)?;
-                let c0 = self.index0(f, env, *c, span)?;
+            [Index::Scalar(r), Index::Scalar(c)] => {
+                let vr = self.operand(f, env, *r, span)?;
+                let vc = self.operand(f, env, *c, span)?;
+                let (SimVal::Scalar(zr), SimVal::Scalar(zc)) = (vr, vc) else {
+                    return self.eval_index_slices(f, env, &base, indices, span);
+                };
+                let (r0, c0) = (zr.re as i64 - 1, zc.re as i64 - 1);
                 self.charge(OpClass::ScalarAlu, 2);
                 self.charge(OpClass::Load, 1);
                 if r0 < 0 || c0 < 0 || r0 as usize >= base.rows() || c0 as usize >= base.cols() {
@@ -266,23 +263,32 @@ impl<'a> Exec<'a> {
                 }
                 Ok(SimVal::Scalar(base.at(r0 as usize, c0 as usize)))
             }
-            _ => {
-                // Slices: evaluate via positions like the C backend loops.
-                let (positions, rows, cols) =
-                    self.slice_positions(f, env, &base, indices, span)?;
-                let n = positions.len() as u64;
-                self.charge(OpClass::Load, n);
-                self.charge(OpClass::Store, n);
-                self.charge(OpClass::Branch, n);
-                let mut data = Vec::with_capacity(positions.len());
-                for p in &positions {
-                    data.push(*base.data().get(*p).ok_or_else(|| {
-                        SimError::new(format!("slice index {} out of bounds", p + 1), span)
-                    })?);
-                }
-                Ok(SimVal::Arr(Matrix::new(rows, cols, data)))
-            }
+            _ => self.eval_index_slices(f, env, &base, indices, span),
         }
+    }
+
+    /// The general slice/gather subscript forms of [`Exec::eval_index`].
+    fn eval_index_slices(
+        &mut self,
+        f: &MirFunction,
+        env: &mut Env,
+        base: &Matrix,
+        indices: &[Index],
+        span: Span,
+    ) -> Result<SimVal, SimError> {
+        // Slices: evaluate via positions like the C backend loops.
+        let (positions, rows, cols) = self.slice_positions(f, env, base, indices, span)?;
+        let n = positions.len() as u64;
+        self.charge(OpClass::Load, n);
+        self.charge(OpClass::Store, n);
+        self.charge(OpClass::Branch, n);
+        let mut data = Vec::with_capacity(positions.len());
+        for p in &positions {
+            data.push(*base.data().get(*p).ok_or_else(|| {
+                SimError::new(format!("slice index {} out of bounds", p + 1), span)
+            })?);
+        }
+        Ok(SimVal::Arr(Matrix::new(rows, cols, data)))
     }
 
     /// Resolves slice-like subscripts into 0-based linear positions plus
@@ -368,84 +374,110 @@ impl<'a> Exec<'a> {
         span: Span,
     ) -> Result<(), SimError> {
         let val = self.operand(f, env, value, span)?;
-        let mut base = match self.get(f, env, array, span)? {
+        // Take (not clone) the destination so the writes below mutate the
+        // array in place instead of forcing a copy-on-write duplication.
+        // MIR lowering materializes index operands into temps first, so
+        // nothing below reads `array` while it is out of the environment.
+        let mut base = match self.take_val(f, env, array, span)? {
             SimVal::Arr(m) => m,
             SimVal::Scalar(z) => Matrix::scalar(z),
         };
         match indices {
-            [Index::Scalar(op)]
-                if matches!(self.operand(f, env, *op, span)?, SimVal::Scalar(_)) =>
-            {
-                let k = self.index0(f, env, *op, span)?;
-                self.charge(OpClass::ScalarAlu, 1);
-                self.charge(OpClass::Store, 1);
-                let n = base.numel();
-                if k < 0 || k as usize >= n {
-                    return Err(SimError::new(
-                        format!("store index {} out of bounds ({n})", k + 1),
-                        span,
-                    ));
-                }
-                base.data_mut()[k as usize] =
-                    val.as_cx().map_err(|m| SimError::new(m, span))?;
-            }
-            [Index::Scalar(r), Index::Scalar(c)]
-                if matches!(self.operand(f, env, *r, span)?, SimVal::Scalar(_))
-                    && matches!(self.operand(f, env, *c, span)?, SimVal::Scalar(_)) =>
-            {
-                let r0 = self.index0(f, env, *r, span)?;
-                let c0 = self.index0(f, env, *c, span)?;
-                self.charge(OpClass::ScalarAlu, 2);
-                self.charge(OpClass::Store, 1);
-                if r0 < 0 || c0 < 0 || r0 as usize >= base.rows() || c0 as usize >= base.cols()
-                {
-                    return Err(SimError::new("2-D store out of bounds", span));
-                }
-                let z = val.as_cx().map_err(|m| SimError::new(m, span))?;
-                *base.at_mut(r0 as usize, c0 as usize) = z;
-            }
-            _ => {
-                let (positions, ..) = self.slice_positions(f, env, &base, indices, span)?;
-                let n = positions.len() as u64;
-                self.charge(OpClass::Store, n);
-                self.charge(OpClass::Branch, n);
-                match &val {
-                    SimVal::Scalar(z) => {
-                        for p in &positions {
-                            let total = base.numel();
-                            let slot = base.data_mut().get_mut(*p).ok_or_else(|| {
-                                SimError::new(
-                                    format!("store slice {} out of bounds ({total})", p + 1),
-                                    span,
-                                )
-                            })?;
-                            *slot = *z;
-                        }
+            // Evaluate each subscript once and branch on its shape (the
+            // guard-plus-`index0` form evaluated them twice per store).
+            [Index::Scalar(op)] => match self.operand(f, env, *op, span)? {
+                SimVal::Scalar(z) => {
+                    let k = z.re as i64 - 1;
+                    self.charge(OpClass::ScalarAlu, 1);
+                    self.charge(OpClass::Store, 1);
+                    let n = base.numel();
+                    if k < 0 || k as usize >= n {
+                        return Err(SimError::new(
+                            format!("store index {} out of bounds ({n})", k + 1),
+                            span,
+                        ));
                     }
-                    SimVal::Arr(src) => {
-                        self.charge(OpClass::Load, n);
-                        if src.numel() != positions.len() {
-                            return Err(SimError::new("store size mismatch", span));
-                        }
-                        for (k, p) in positions.iter().enumerate() {
-                            let total = base.numel();
-                            let z = src.lin(k);
-                            let slot = base.data_mut().get_mut(*p).ok_or_else(|| {
-                                SimError::new(
-                                    format!("store slice {} out of bounds ({total})", p + 1),
-                                    span,
-                                )
-                            })?;
-                            *slot = z;
-                        }
+                    base.data_mut()[k as usize] =
+                        val.as_cx().map_err(|m| SimError::new(m, span))?;
+                }
+                SimVal::Arr(_) => self.store_slices(f, env, &mut base, indices, &val, span)?,
+            },
+            [Index::Scalar(r), Index::Scalar(c)] => {
+                let vr = self.operand(f, env, *r, span)?;
+                let vc = self.operand(f, env, *c, span)?;
+                if let (SimVal::Scalar(zr), SimVal::Scalar(zc)) = (&vr, &vc) {
+                    let (r0, c0) = (zr.re as i64 - 1, zc.re as i64 - 1);
+                    self.charge(OpClass::ScalarAlu, 2);
+                    self.charge(OpClass::Store, 1);
+                    if r0 < 0
+                        || c0 < 0
+                        || r0 as usize >= base.rows()
+                        || c0 as usize >= base.cols()
+                    {
+                        return Err(SimError::new("2-D store out of bounds", span));
                     }
+                    let z = val.as_cx().map_err(|m| SimError::new(m, span))?;
+                    *base.at_mut(r0 as usize, c0 as usize) = z;
+                } else {
+                    self.store_slices(f, env, &mut base, indices, &val, span)?;
                 }
             }
+            _ => self.store_slices(f, env, &mut base, indices, &val, span)?,
         }
         self.set(env, array, SimVal::Arr(base));
         Ok(())
     }
 
+    /// The general slice/gather subscript forms of [`Exec::exec_store`].
+    fn store_slices(
+        &mut self,
+        f: &MirFunction,
+        env: &mut Env,
+        base: &mut Matrix,
+        indices: &[Index],
+        val: &SimVal,
+        span: Span,
+    ) -> Result<(), SimError> {
+        let (positions, ..) = self.slice_positions(f, env, base, indices, span)?;
+        let n = positions.len() as u64;
+        self.charge(OpClass::Store, n);
+        self.charge(OpClass::Branch, n);
+        match val {
+            SimVal::Scalar(z) => {
+                for p in &positions {
+                    let total = base.numel();
+                    let slot = base.data_mut().get_mut(*p).ok_or_else(|| {
+                        SimError::new(
+                            format!("store slice {} out of bounds ({total})", p + 1),
+                            span,
+                        )
+                    })?;
+                    *slot = *z;
+                }
+            }
+            SimVal::Arr(src) => {
+                self.charge(OpClass::Load, n);
+                if src.numel() != positions.len() {
+                    return Err(SimError::new("store size mismatch", span));
+                }
+                for (k, p) in positions.iter().enumerate() {
+                    let total = base.numel();
+                    let z = src.lin(k);
+                    let slot = base.data_mut().get_mut(*p).ok_or_else(|| {
+                        SimError::new(
+                            format!("store slice {} out of bounds ({total})", p + 1),
+                            span,
+                        )
+                    })?;
+                    *slot = z;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // One parameter per field of the `Stmt::CallMulti` form it executes.
+    #[allow(clippy::too_many_arguments)]
     fn exec_call_multi(
         &mut self,
         f: &MirFunction,
@@ -457,16 +489,11 @@ impl<'a> Exec<'a> {
         span: Span,
     ) -> Result<(), SimError> {
         if user {
-            let callee = self
-                .mir
-                .function(func)
-                .ok_or_else(|| SimError::new(format!("call to unknown `{func}`"), span))?
-                .clone();
             let mut inputs = Vec::new();
             for a in args {
                 inputs.push(self.operand(f, env, *a, span)?);
             }
-            let outs = self.call(&callee, inputs)?;
+            let outs = self.call_by_name(func, inputs, span)?;
             for (d, v) in dsts.iter().zip(outs) {
                 if let Some(d) = d {
                     self.set(env, *d, v);
@@ -585,9 +612,30 @@ fn apply_unop(op: UnOp, z: Cx) -> Cx {
     }
 }
 
+/// Scalar fast path of [`matic_interp::apply_binop`]: identical semantics
+/// on 1×1 operands without building temporary matrices. This runs once
+/// per scalar ALU statement and once per lane inside vector maps, so it
+/// must stay allocation-free.
 fn apply_binop_scalar(op: BinOp, a: Cx, b: Cx) -> Result<Cx, String> {
-    let am = Matrix::scalar(a);
-    let bm = Matrix::scalar(b);
-    let out = matic_interp::apply_binop(op, &am, &bm)?;
-    out.as_scalar()
+    let logical = |c: bool| Cx::real(if c { 1.0 } else { 0.0 });
+    let truthy = |z: Cx| z.re != 0.0 || z.im != 0.0;
+    Ok(match op {
+        BinOp::Add => a + b,
+        BinOp::Sub => a - b,
+        BinOp::ElemMul | BinOp::MatMul => a * b,
+        BinOp::ElemDiv | BinOp::MatDiv => a / b,
+        BinOp::ElemLeftDiv | BinOp::MatLeftDiv => b / a,
+        BinOp::ElemPow | BinOp::MatPow => a.powc(b),
+        BinOp::Eq => logical(a == b),
+        BinOp::Ne => logical(a != b),
+        BinOp::Lt => logical(a.re < b.re),
+        BinOp::Le => logical(a.re <= b.re),
+        BinOp::Gt => logical(a.re > b.re),
+        BinOp::Ge => logical(a.re >= b.re),
+        BinOp::And => logical(truthy(a) && truthy(b)),
+        BinOp::Or => logical(truthy(a) || truthy(b)),
+        BinOp::AndAnd | BinOp::OrOr => {
+            return Err("short-circuit operator applied to matrices".to_string())
+        }
+    })
 }

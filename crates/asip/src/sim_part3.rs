@@ -176,7 +176,7 @@ impl<'a> Exec<'a> {
                     Cx::real(x.im)
                 }
                 "conj" => {
-                    if self.machine.use_intrinsics && self.spec().supports(OpClass::ComplexConj)
+                    if self.machine.use_intrinsics && self.supports(OpClass::ComplexConj)
                     {
                         self.charge(OpClass::ComplexConj, 1);
                     } else {
@@ -322,7 +322,7 @@ impl<'a> Exec<'a> {
                     }
                     "conj" => {
                         if self.machine.use_intrinsics
-                            && self.spec().supports(OpClass::ComplexConj)
+                            && self.supports(OpClass::ComplexConj)
                         {
                             self.charge(OpClass::ComplexConj, n);
                         } else {
@@ -450,7 +450,11 @@ impl<'a> Exec<'a> {
         let VecRef::Slice { array, start, step } = r else {
             return Err(SimError::new("vector store needs a slice", span));
         };
-        let mut base = self.get(f, env, *array, span)?.into_matrix();
+        // Take (not clone) the destination: lane writes go through
+        // `data_mut`, and a cloned handle would pay a full copy-on-write
+        // duplication per vector op. `start`/`step` are scalar operands,
+        // never the destination array itself.
+        let mut base = self.take_val(f, env, *array, span)?.into_matrix();
         let s = self.real_of(f, env, *start, span)? as i64 - 1;
         let st = self.real_of(f, env, *step, span)? as i64;
         for (k, z) in values.iter().enumerate() {
@@ -476,9 +480,8 @@ impl<'a> Exec<'a> {
     /// capabilities, mirroring the C backend's intrinsic-vs-fallback
     /// decision. Returns nothing; semantics are computed separately.
     fn charge_vector_op(&mut self, vop: &VectorOp, len: u64, inputs: u64, has_store: bool) {
-        let spec = self.spec().clone();
-        let w = spec.vector_width.max(1) as u64;
-        let simd_ok = self.machine.use_intrinsics && spec.features.simd && w > 1;
+        let w = self.spec().vector_width.max(1) as u64;
+        let simd_ok = self.machine.use_intrinsics && self.spec().features.simd && w > 1;
         let class = match (&vop.kind, vop.complex) {
             (VecKind::Map(BinOp::ElemMul | BinOp::MatMul), false) => OpClass::VectorMul,
             (VecKind::Map(BinOp::ElemDiv | BinOp::MatDiv), false) => OpClass::VectorDiv,
@@ -496,7 +499,7 @@ impl<'a> Exec<'a> {
             (VecKind::Reduce(_), true) => OpClass::VectorRedAdd,
             (VecKind::Copy, _) => OpClass::VectorLoad,
         };
-        if simd_ok && spec.supports(class) {
+        if simd_ok && self.supports(class) {
             // Whole SIMD words per issue, plus vector load/store traffic.
             let words = len.div_ceil(w);
             self.charge(OpClass::VectorLoad, words * inputs);
@@ -530,7 +533,7 @@ impl<'a> Exec<'a> {
                 self.charge(OpClass::ScalarSqrt, len)
             }
             (VecKind::MapBuiltin(n), true) if n == "conj" => {
-                if self.machine.use_intrinsics && spec.supports(OpClass::ComplexConj) {
+                if self.machine.use_intrinsics && self.supports(OpClass::ComplexConj) {
                     self.charge(OpClass::ComplexConj, len);
                 } else {
                     self.charge(OpClass::ScalarAlu, len);

@@ -6,9 +6,9 @@
 //! fast enough for interactive use.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use matic::{Compiler, OptLevel};
 use matic_benchkit::SUITE;
+use std::time::Duration;
 
 fn bench_compile(c: &mut Criterion) {
     let mut group = c.benchmark_group("compile_full_pipeline");

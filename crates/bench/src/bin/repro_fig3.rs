@@ -7,29 +7,42 @@
 //! Regenerate with: `cargo run -p matic-bench --bin repro_fig3 [--quick]`
 
 use matic::{IsaSpec, OptLevel};
-use matic_bench::{measure, render_table, speedup};
+use matic_bench::{measure, par_map, render_table, speedup};
 use matic_benchkit::SUITE;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let widths = [1usize, 2, 4, 8, 16];
+    // Flat (benchmark, N, target, opt-level) cells: per benchmark, the
+    // fixed scalar baseline plus one full-opt cell per vector width.
+    let cells: Vec<_> = SUITE
+        .iter()
+        .flat_map(|b| {
+            let n = if quick {
+                match b.id {
+                    "matmul" => 8,
+                    "fft" => 64,
+                    _ => 128,
+                }
+            } else {
+                b.default_n
+            };
+            std::iter::once((b, n, IsaSpec::dsp16(), OptLevel::baseline())).chain(
+                widths
+                    .iter()
+                    .map(move |&w| (b, n, IsaSpec::with_width(w), OptLevel::full())),
+            )
+        })
+        .collect();
+    let measured = par_map(&cells, |(b, n, spec, opt)| {
+        measure(b, *n, spec.clone(), *opt, 1)
+    });
+    let per_bench = 1 + widths.len();
     let mut rows = Vec::new();
-    for b in SUITE {
-        let n = if quick {
-            match b.id {
-                "matmul" => 8,
-                "fft" => 64,
-                _ => 128,
-            }
-        } else {
-            b.default_n
-        };
-        // The baseline is fixed: scalar code, no custom instructions.
-        let base = measure(b, n, IsaSpec::dsp16(), OptLevel::baseline(), 1);
-        let mut row = vec![b.id.to_string()];
-        for w in widths {
-            let spec = IsaSpec::with_width(w);
-            let m = measure(b, n, spec, OptLevel::full(), 1);
+    for group in measured.chunks(per_bench) {
+        let base = &group[0];
+        let mut row = vec![base.bench.to_string()];
+        for m in &group[1..] {
             row.push(format!("{:.2}x", speedup(base.cycles, m.cycles)));
         }
         rows.push(row);

@@ -6,7 +6,7 @@
 //! `cargo run -p matic-bench --bin repro_fig4 [--quick]`
 
 use matic::{Features, IsaSpec, OptLevel};
-use matic_bench::{measure, render_table, speedup};
+use matic_bench::{measure, par_map, render_table, speedup};
 use matic_benchkit::SUITE;
 
 fn main() {
@@ -46,22 +46,36 @@ fn main() {
         ),
         ("all", Features::all()),
     ];
+    // Flat (benchmark, N, target, opt-level) cells: per benchmark, the
+    // scalar baseline plus one full-opt cell per feature ablation.
+    let cells: Vec<_> = SUITE
+        .iter()
+        .flat_map(|b| {
+            let n = if quick {
+                match b.id {
+                    "matmul" => 8,
+                    "fft" => 64,
+                    _ => 128,
+                }
+            } else {
+                b.default_n
+            };
+            std::iter::once((b, n, IsaSpec::dsp16(), OptLevel::baseline())).chain(
+                variants.iter().map(move |(_, feats)| {
+                    (b, n, IsaSpec::with_features(*feats), OptLevel::full())
+                }),
+            )
+        })
+        .collect();
+    let measured = par_map(&cells, |(b, n, spec, opt)| {
+        measure(b, *n, spec.clone(), *opt, 1)
+    });
+    let per_bench = 1 + variants.len();
     let mut rows = Vec::new();
-    for b in SUITE {
-        let n = if quick {
-            match b.id {
-                "matmul" => 8,
-                "fft" => 64,
-                _ => 128,
-            }
-        } else {
-            b.default_n
-        };
-        let base = measure(b, n, IsaSpec::dsp16(), OptLevel::baseline(), 1);
-        let mut row = vec![b.id.to_string()];
-        for (_, feats) in variants {
-            let spec = IsaSpec::with_features(*feats);
-            let m = measure(b, n, spec, OptLevel::full(), 1);
+    for group in measured.chunks(per_bench) {
+        let base = &group[0];
+        let mut row = vec![base.bench.to_string()];
+        for m in &group[1..] {
             row.push(format!("{:.2}x", speedup(base.cycles, m.cycles)));
         }
         rows.push(row);

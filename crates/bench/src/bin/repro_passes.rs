@@ -19,11 +19,7 @@ struct Passes {
     forward: bool,
 }
 
-fn cycles_with(
-    bench: &matic_benchkit::Benchmark,
-    n: usize,
-    passes: Passes,
-) -> u64 {
+fn cycles_with(bench: &matic_benchkit::Benchmark, n: usize, passes: Passes) -> u64 {
     let (program, diags) = matic::parse(bench.source);
     assert!(!diags.has_errors());
     let analysis = matic_sema::analyze(&program, bench.entry, &bench.arg_types(n));

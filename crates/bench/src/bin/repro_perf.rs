@@ -1,0 +1,121 @@
+//! **Simulator throughput** — wall-clock performance of the virtual ASIP
+//! itself, not of the code it models.
+//!
+//! Times repeated [`matic::Compiled::simulator`] runs over the whole
+//! benchmark suite at both opt levels and writes the results to
+//! `BENCH_simulator.json` (median ns per run, plus simulated-cycles per
+//! host-second as the throughput figure). Simulated cycle counts are
+//! deterministic; only the host timings vary run to run. Regenerate with:
+//! `cargo run --release -p matic-bench --bin repro_perf`
+
+use matic::{Compiler, OptLevel};
+use matic_bench::render_table;
+use matic_benchkit::{to_sim, SUITE};
+use matic_isa::json::Json;
+use std::time::Instant;
+
+/// Simulation sizes kept small enough that one run is well under a
+/// millisecond for most kernels (matches `benches/simulator.rs`).
+fn small_n(id: &str) -> usize {
+    match id {
+        "matmul" => 8,
+        "fft" => 64,
+        _ => 128,
+    }
+}
+
+struct Timing {
+    bench: &'static str,
+    opt: &'static str,
+    n: usize,
+    cycles: u64,
+    median_ns: u64,
+    cycles_per_sec: f64,
+}
+
+fn median_ns(samples: &mut [u64]) -> u64 {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn time_cell(bench: &matic_benchkit::Benchmark, opt: OptLevel, label: &'static str) -> Timing {
+    let n = small_n(bench.id);
+    let compiled = Compiler::new()
+        .opt_level(opt)
+        .compile(bench.source, bench.entry, &bench.arg_types(n))
+        .unwrap_or_else(|e| panic!("{}: compile failed: {e}", bench.id));
+    let inputs: Vec<_> = bench.inputs(n, 3).iter().map(to_sim).collect();
+    let sim = compiled.simulator();
+    // Warm up (also forces the one-time decode) and pin the cycle count.
+    let cycles = sim.run(inputs.clone()).expect("sim ok").cycles.total;
+    let mut samples = Vec::with_capacity(40);
+    let budget = Instant::now();
+    while samples.len() < 40 && (samples.len() < 10 || budget.elapsed().as_millis() < 300) {
+        let t = Instant::now();
+        let out = sim.run(inputs.clone()).expect("sim ok");
+        samples.push(t.elapsed().as_nanos() as u64);
+        assert_eq!(out.cycles.total, cycles, "simulation must be deterministic");
+    }
+    let med = median_ns(&mut samples);
+    Timing {
+        bench: bench.id,
+        opt: label,
+        n,
+        cycles,
+        median_ns: med,
+        cycles_per_sec: cycles as f64 / (med.max(1) as f64 / 1e9),
+    }
+}
+
+fn main() {
+    let mut timings = Vec::new();
+    for b in SUITE {
+        timings.push(time_cell(b, OptLevel::baseline(), "base"));
+        timings.push(time_cell(b, OptLevel::full(), "opt"));
+    }
+    let rows: Vec<Vec<String>> = timings
+        .iter()
+        .map(|t| {
+            vec![
+                format!("{}_{}", t.bench, t.opt),
+                t.n.to_string(),
+                t.cycles.to_string(),
+                t.median_ns.to_string(),
+                format!("{:.1}", t.cycles_per_sec / 1e6),
+            ]
+        })
+        .collect();
+    println!("Simulator throughput (pre-decoded engine, reusable-machine API)");
+    println!();
+    println!(
+        "{}",
+        render_table(
+            &["cell", "N", "sim-cycles", "median-ns/run", "Mcyc/s"],
+            &rows
+        )
+    );
+    let results: Vec<Json> = timings
+        .iter()
+        .map(|t| {
+            Json::Obj(vec![
+                ("bench".into(), Json::Str(t.bench.into())),
+                ("opt".into(), Json::Str(t.opt.into())),
+                ("n".into(), Json::Num(t.n as f64)),
+                ("cycles".into(), Json::Num(t.cycles as f64)),
+                ("median_ns".into(), Json::Num(t.median_ns as f64)),
+                (
+                    "sim_cycles_per_sec".into(),
+                    Json::Num(t.cycles_per_sec.round()),
+                ),
+            ])
+        })
+        .collect();
+    let doc = Json::Obj(vec![
+        ("generated_by".into(), Json::Str("repro_perf".into())),
+        ("group".into(), Json::Str("asip_simulation".into())),
+        ("results".into(), Json::Arr(results)),
+    ]);
+    let path = "BENCH_simulator.json";
+    std::fs::write(path, doc.pretty() + "\n").expect("write BENCH_simulator.json");
+    println!("wrote {path}");
+}

@@ -45,7 +45,15 @@ fn main() {
         "{}",
         render_table(
             &[
-                "bench", "kernel", "N", "LoC", "MIR", "MACs", "maps", "reds", "copies",
+                "bench",
+                "kernel",
+                "N",
+                "LoC",
+                "MIR",
+                "MACs",
+                "maps",
+                "reds",
+                "copies",
                 "serial-loops"
             ],
             &rows

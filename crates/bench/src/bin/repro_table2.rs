@@ -6,25 +6,35 @@
 //! `cargo run -p matic-bench --bin repro_table2 [--quick]`
 
 use matic::{IsaSpec, OptLevel};
-use matic_bench::{measure, render_table, speedup};
+use matic_bench::{measure, par_map, render_table, speedup};
 use matic_benchkit::SUITE;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    // Flat (benchmark, N, opt-level) cells, measured in parallel.
+    let cells: Vec<_> = SUITE
+        .iter()
+        .flat_map(|b| {
+            let n = if quick {
+                match b.id {
+                    "matmul" => 8,
+                    "fft" => 64,
+                    _ => 128,
+                }
+            } else {
+                b.default_n
+            };
+            [(b, n, OptLevel::baseline()), (b, n, OptLevel::full())]
+        })
+        .collect();
+    let measured = par_map(&cells, |&(b, n, opt)| {
+        measure(b, n, IsaSpec::dsp16(), opt, 1)
+    });
     let mut rows = Vec::new();
     let mut series = Vec::new();
-    for b in SUITE {
-        let n = if quick {
-            match b.id {
-                "matmul" => 8,
-                "fft" => 64,
-                _ => 128,
-            }
-        } else {
-            b.default_n
-        };
-        let base = measure(b, n, IsaSpec::dsp16(), OptLevel::baseline(), 1);
-        let opt = measure(b, n, IsaSpec::dsp16(), OptLevel::full(), 1);
+    for (pair, cell) in measured.chunks(2).zip(cells.chunks(2)) {
+        let (base, opt) = (&pair[0], &pair[1]);
+        let (b, n, _) = cell[0];
         let s = speedup(base.cycles, opt.cycles);
         series.push((b.id, s));
         rows.push(vec![

@@ -58,8 +58,7 @@ fn main() {
         let t_vec = t0.elapsed() / REPS;
         let vmir = vectorized.expect("vectorized");
 
-        let backend =
-            matic_codegen::CBackend::new(IsaSpec::dsp16(), CodegenOptions::default());
+        let backend = matic_codegen::CBackend::new(IsaSpec::dsp16(), CodegenOptions::default());
         let t0 = Instant::now();
         let mut emitted = 0usize;
         for _ in 0..REPS {
@@ -83,7 +82,15 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["bench", "parse", "sema", "lower+opt", "vectorize", "emit-C", "C-bytes"],
+            &[
+                "bench",
+                "parse",
+                "sema",
+                "lower+opt",
+                "vectorize",
+                "emit-C",
+                "C-bytes"
+            ],
             &rows
         )
     );

@@ -75,6 +75,59 @@ pub fn speedup(baseline: u64, optimized: u64) -> f64 {
     baseline as f64 / optimized.max(1) as f64
 }
 
+/// Maps `f` over `items` on all available cores, preserving input order.
+///
+/// The repro binaries fan out over (benchmark, target, opt-level)
+/// measurement cells that are independent of each other; this spreads
+/// them over a scoped thread pool with a shared atomic work index, so a
+/// slow cell (e.g. `xcorr` at full N) does not serialize the rest.
+/// Worker threads build their simulation inputs locally — `Matrix`
+/// payloads are `Rc`-backed and must not cross threads.
+///
+/// # Panics
+///
+/// Re-raises the first panic from any worker (a failed measurement must
+/// still abort the whole run).
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let threads = std::thread::available_parallelism()
+        .map_or(1, |n| n.get())
+        .min(items.len().max(1));
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut tagged: Vec<(usize, R)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut done = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        done.push((i, f(item)));
+                    }
+                    done
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| match h.join() {
+                Ok(part) => part,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+    tagged.sort_by_key(|&(i, _)| i);
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
 /// Renders an aligned text table.
 pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
@@ -124,6 +177,35 @@ mod tests {
     fn speedup_math() {
         assert_eq!(speedup(100, 50), 2.0);
         assert_eq!(speedup(100, 0), 100.0);
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let squared = par_map(&items, |&x| x * x);
+        assert_eq!(squared, items.iter().map(|&x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_single() {
+        assert_eq!(par_map::<u32, u32, _>(&[], |&x| x), Vec::<u32>::new());
+        assert_eq!(par_map(&[7], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn par_map_measures_like_sequential() {
+        // Measurement cells must be safe to fan out: same cycle counts as
+        // a sequential loop, in the same order.
+        let b = benchmark("fir").unwrap();
+        let cells = [OptLevel::baseline(), OptLevel::full()];
+        let par = par_map(&cells, |&opt| {
+            measure(b, 64, IsaSpec::dsp16(), opt, 5).cycles
+        });
+        let seq: Vec<u64> = cells
+            .iter()
+            .map(|&opt| measure(b, 64, IsaSpec::dsp16(), opt, 5).cycles)
+            .collect();
+        assert_eq!(par, seq);
     }
 
     #[test]

@@ -284,11 +284,7 @@ pub fn outputs_close(actual: &CValue, expected: &CValue, tol: f64) -> Result<(),
             actual.rows, actual.cols, expected.rows, expected.cols
         ));
     };
-    let scale = expected
-        .re
-        .iter()
-        .map(|v| v.abs())
-        .fold(1.0_f64, f64::max);
+    let scale = expected.re.iter().map(|v| v.abs()).fold(1.0_f64, f64::max);
     if diff > tol * scale {
         return Err(format!("max abs diff {diff} exceeds {tol} (scale {scale})"));
     }

@@ -199,8 +199,7 @@ mod tests {
                 .reference_outputs(&inputs)
                 .unwrap_or_else(|e| panic!("{}: interp failed: {e}", b.id))[0];
             let want = run(b.id, &inputs);
-            outputs_close(got, &want, 1e-9)
-                .unwrap_or_else(|e| panic!("{} mismatch: {e}", b.id));
+            outputs_close(got, &want, 1e-9).unwrap_or_else(|e| panic!("{} mismatch: {e}", b.id));
         }
     }
 
@@ -211,8 +210,7 @@ mod tests {
             let inputs = b.inputs(n, 5);
             let got = &b.reference_outputs(&inputs).expect("interp ok")[0];
             let want = run("fft", &inputs);
-            outputs_close(got, &want, 1e-9)
-                .unwrap_or_else(|e| panic!("fft n={n}: {e}"));
+            outputs_close(got, &want, 1e-9).unwrap_or_else(|e| panic!("fft n={n}: {e}"));
         }
     }
 }

@@ -1,6 +1,11 @@
 // Continuation of `FnEmitter` — included from emit.rs so the type's
 // methods stay in one module without one 2000-line file.
 
+/// `(count_expr, base_expr(k))` pair describing one 2-D subscript: how many
+/// positions the subscript selects and, given a loop counter, the C
+/// expression for the k-th selected 0-based position.
+type SubscriptPlan = (String, Box<dyn Fn(&str) -> String>);
+
 impl<'a> FnEmitter<'a> {
     // ---- indexing -------------------------------------------------------
 
@@ -134,7 +139,7 @@ impl<'a> FnEmitter<'a> {
         idx: &Index,
         dim_extent: &str,
         span: Span,
-    ) -> Result<(String, Box<dyn Fn(&str) -> String>), CodegenError> {
+    ) -> Result<SubscriptPlan, CodegenError> {
         match idx {
             Index::Scalar(op) => {
                 let i0 = self.index0(*op, span)?;
@@ -1085,7 +1090,7 @@ impl<'a> FnEmitter<'a> {
                 VecRef::Slice { array, .. } => Ok(self.repr(*array)?.is_cx() == vop.complex),
                 VecRef::Splat(op) => {
                     // Splats convert freely real→complex.
-                    Ok(!(self.op_repr(*op)?.is_cx() && !vop.complex))
+                    Ok(!self.op_repr(*op)?.is_cx() || vop.complex)
                 }
             }
         };
@@ -1330,10 +1335,7 @@ impl<'a> FnEmitter<'a> {
                             format!("-({ea})")
                         }
                     }
-                    VecKind::MapUnary(_) => {
-                        let ea = self.lane_elem(&vop.a, &i, d_cx, span)?;
-                        ea
-                    }
+                    VecKind::MapUnary(_) => self.lane_elem(&vop.a, &i, d_cx, span)?,
                     VecKind::MapBuiltin(name) => {
                         let a_cx = match &vop.a {
                             VecRef::Slice { array, .. } => self.repr(*array)?.is_cx(),

@@ -328,11 +328,7 @@ impl Harness {
 /// # Errors
 ///
 /// Propagates I/O errors.
-pub fn write_module(
-    dir: &Path,
-    module: &CModule,
-    extra: Option<&str>,
-) -> std::io::Result<PathBuf> {
+pub fn write_module(dir: &Path, module: &CModule, extra: Option<&str>) -> std::io::Result<PathBuf> {
     std::fs::create_dir_all(dir)?;
     std::fs::write(dir.join("matic_rt.h"), &module.rt_header)?;
     std::fs::write(dir.join("matic_intrinsics.h"), &module.intrinsics_header)?;

@@ -90,9 +90,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                     .parse()
                     .map_err(|_| "--seed expects an integer".to_string())?
             }
-            other if !other.starts_with('-') && file.is_none() => {
-                file = Some(other.to_string())
-            }
+            other if !other.starts_with('-') && file.is_none() => file = Some(other.to_string()),
             other => return Err(format!("unexpected argument `{other}`")),
         }
     }
@@ -267,7 +265,7 @@ fn synth_input(ty: &Ty, seed: u64) -> SimVal {
             SimVal::Arr(matic::Matrix::new(
                 rows,
                 cols,
-                v.into_iter().map(|x| matic::Cx::real(x)).collect(),
+                v.into_iter().map(matic::Cx::real).collect(),
             ))
         }
     }
@@ -290,9 +288,7 @@ fn cmd_targets(args: &[String]) -> Result<(), String> {
         IsaSpec::with_width(16),
     ];
     if let Some(pos) = args.iter().position(|a| a == "--dump") {
-        let name = args
-            .get(pos + 1)
-            .ok_or("--dump expects a target name")?;
+        let name = args.get(pos + 1).ok_or("--dump expects a target name")?;
         let spec = builtin
             .iter()
             .find(|s| &s.name == name)

@@ -45,4 +45,4 @@ pub use matic_interp::{Cx, Interpreter, Matrix, RuntimeError, Value};
 pub use matic_isa::{CostModel, Features, IsaSpec, OpClass};
 pub use matic_sema::{Class, Dim, Shape, Ty};
 pub use matic_vectorize::VectorizeReport;
-pub use pipeline::{arg, Compiled, CompileError, Compiler, OptLevel};
+pub use pipeline::{arg, CompileError, Compiled, Compiler, OptLevel};

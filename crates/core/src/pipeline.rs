@@ -9,6 +9,7 @@ use matic_mir::MirProgram;
 use matic_sema::{Analysis, Ty};
 use matic_vectorize::VectorizeReport;
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 
 /// Any failure along the compilation pipeline.
 #[derive(Debug, Clone, PartialEq)]
@@ -89,7 +90,7 @@ impl OptLevel {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Compiler {
-    spec: IsaSpec,
+    spec: Arc<IsaSpec>,
     opt: OptLevel,
 }
 
@@ -103,14 +104,14 @@ impl Compiler {
     /// A compiler for the paper's `dsp16` ASIP at full optimization.
     pub fn new() -> Compiler {
         Compiler {
-            spec: IsaSpec::dsp16(),
+            spec: Arc::new(IsaSpec::dsp16()),
             opt: OptLevel::full(),
         }
     }
 
     /// Selects the target ISA description.
     pub fn target(mut self, spec: IsaSpec) -> Compiler {
-        self.spec = spec;
+        self.spec = Arc::new(spec);
         self
     }
 
@@ -178,7 +179,7 @@ impl Compiler {
             VectorizeReport::default()
         };
         let backend = CBackend::new(
-            self.spec.clone(),
+            (*self.spec).clone(),
             CodegenOptions {
                 use_intrinsics: self.opt.intrinsics,
             },
@@ -193,8 +194,9 @@ impl Compiler {
             mir,
             report,
             c,
-            spec: self.spec.clone(),
+            spec: Arc::clone(&self.spec),
             opt: self.opt,
+            decoded: OnceLock::new(),
         })
     }
 }
@@ -215,10 +217,15 @@ pub struct Compiled {
     pub report: VectorizeReport,
     /// The generated C module.
     pub c: CModule,
-    /// The ISA the module was generated for.
-    pub spec: IsaSpec,
+    /// The ISA the module was generated for, shared with every simulator
+    /// spawned from this compilation.
+    pub spec: Arc<IsaSpec>,
     /// The optimization level the module was compiled at.
     pub opt: OptLevel,
+    /// Lazily-built pre-decoded instruction streams for the simulator;
+    /// filled on the first [`Compiled::simulator`]/[`Compiled::simulate`]
+    /// call and shared by all subsequent ones.
+    decoded: OnceLock<Arc<matic_asip::DecodedProgram>>,
 }
 
 impl Compiled {
@@ -232,13 +239,25 @@ impl Compiled {
         &self,
         inputs: Vec<matic_asip::SimVal>,
     ) -> Result<matic_asip::SimOutcome, matic_asip::SimError> {
-        let mut machine = matic_asip::AsipMachine::new(self.spec.clone());
+        self.simulator().run(inputs)
+    }
+
+    /// A reusable simulator for this compilation: the ISA spec is shared
+    /// (not cloned) and the MIR is decoded at most once per `Compiled`,
+    /// so repeated [`matic_asip::Simulator::run`] calls pay only for
+    /// execution.
+    pub fn simulator(&self) -> matic_asip::Simulator<'_> {
+        let mut machine = matic_asip::AsipMachine::from_shared(Arc::clone(&self.spec));
         if !self.opt.intrinsics {
             // A baseline compilation models a toolchain that is blind to
             // the custom instructions; the machine must not charge them.
             machine = machine.without_intrinsics();
         }
-        machine.run(&self.mir, &self.entry, inputs)
+        let decoded = Arc::clone(
+            self.decoded
+                .get_or_init(|| Arc::new(matic_asip::decode_program(&self.mir))),
+        );
+        machine.load_decoded(&self.mir, decoded, &self.entry)
     }
 
     /// The entry function's MIR.
@@ -340,11 +359,7 @@ mod tests {
     #[test]
     fn mir_dump_is_accessible() {
         let out = Compiler::new()
-            .compile(
-                "function y = f(x)\ny = 2 * x;\nend",
-                "f",
-                &[arg::scalar()],
-            )
+            .compile("function y = f(x)\ny = 2 * x;\nend", "f", &[arg::scalar()])
             .expect("compile ok");
         assert!(out.mir_dump().contains("func @f"));
     }

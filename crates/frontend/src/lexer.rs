@@ -112,9 +112,7 @@ impl<'s> Lexer<'s> {
                 b'0'..=b'9' => self.lex_number(start),
                 b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.lex_ident(start),
                 b'\'' => {
-                    let transpose = self
-                        .last_kind()
-                        .is_some_and(|k| k.allows_postfix_quote())
+                    let transpose = self.last_kind().is_some_and(|k| k.allows_postfix_quote())
                         && !self.pending_space_blocks_transpose();
                     if transpose {
                         self.pos += 1;
@@ -200,8 +198,10 @@ impl<'s> Lexer<'s> {
             // `1.*x`, `1./x`, `1.^x`, `1.\x`, `2.'` keep the dot with the
             // operator; otherwise the dot belongs to the number.
             let next = self.peek_at(1);
-            let dot_is_operator =
-                matches!(next, Some(b'*') | Some(b'/') | Some(b'\\') | Some(b'^') | Some(b'\''));
+            let dot_is_operator = matches!(
+                next,
+                Some(b'*') | Some(b'/') | Some(b'\\') | Some(b'^') | Some(b'\'')
+            );
             if !dot_is_operator {
                 self.pos += 1;
                 while self.peek().is_some_and(|b| b.is_ascii_digit()) {

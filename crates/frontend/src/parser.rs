@@ -894,10 +894,7 @@ impl Parser {
         }
         loop {
             if self.at(&TokenKind::Colon)
-                && matches!(
-                    self.peek_at(1).kind,
-                    TokenKind::Comma | TokenKind::RParen
-                )
+                && matches!(self.peek_at(1).kind, TokenKind::Comma | TokenKind::RParen)
             {
                 let t = self.bump();
                 args.push(Expr::ColonAll { span: t.span });
@@ -1291,9 +1288,7 @@ mod tests {
 
     #[test]
     fn nested_loops_with_end_in_index() {
-        let p = parse_ok(
-            "for i = 1:n\n  for j = 1:m\n    c(i, j) = a(i, end) + 1;\n  end\nend",
-        );
+        let p = parse_ok("for i = 1:n\n  for j = 1:m\n    c(i, j) = a(i, end) + 1;\n  end\nend");
         assert_eq!(p.script.len(), 1);
     }
 
@@ -1318,7 +1313,13 @@ mod tests {
         let e = parse_expr_ok("a & b | c");
         assert!(matches!(e, Expr::Binary { op: BinOp::Or, .. }));
         let e = parse_expr_ok("a && b || c");
-        assert!(matches!(e, Expr::Binary { op: BinOp::OrOr, .. }));
+        assert!(matches!(
+            e,
+            Expr::Binary {
+                op: BinOp::OrOr,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -1348,14 +1349,7 @@ mod tests {
     fn suppression_flag() {
         let p = parse_ok("a = 1;\nb = 2");
         match (&p.script[0], &p.script[1]) {
-            (
-                Stmt::Assign {
-                    suppressed: s1, ..
-                },
-                Stmt::Assign {
-                    suppressed: s2, ..
-                },
-            ) => {
+            (Stmt::Assign { suppressed: s1, .. }, Stmt::Assign { suppressed: s2, .. }) => {
                 assert!(*s1);
                 assert!(!*s2);
             }

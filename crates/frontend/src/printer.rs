@@ -34,7 +34,7 @@ pub fn print_function(out: &mut String, f: &Function) {
             let _ = write!(out, "[{}] = ", f.outputs.join(", "));
         }
     }
-    let _ = write!(out, "{}({})\n", f.name, f.params.join(", "));
+    let _ = writeln!(out, "{}({})", f.name, f.params.join(", "));
     for stmt in &f.body {
         print_stmt(out, stmt, 1);
     }
@@ -149,7 +149,7 @@ pub fn print_stmt(out: &mut String, stmt: &Stmt, level: usize) {
         Stmt::Continue(_) => out.push_str("continue\n"),
         Stmt::Return(_) => out.push_str("return\n"),
         Stmt::Global { names, .. } => {
-            let _ = write!(out, "global {}\n", names.join(" "));
+            let _ = writeln!(out, "global {}", names.join(" "));
         }
     }
 }

@@ -238,6 +238,9 @@ mod tests {
     fn display_round_trips_simple_tokens() {
         assert_eq!(TokenKind::DotStar.to_string(), ".*");
         assert_eq!(TokenKind::Ne.to_string(), "~=");
-        assert_eq!(TokenKind::Str("it''s".replace("''", "'")).to_string(), "'it''s'");
+        assert_eq!(
+            TokenKind::Str("it''s".replace("''", "'")).to_string(),
+            "'it''s'"
+        );
     }
 }

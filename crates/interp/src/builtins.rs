@@ -478,7 +478,10 @@ fn min_max(name: &str, args: Vec<Value>, nargout: usize) -> Result<Vec<Value>, S
     }
     let m = arg_matrix(&args, 0, name)?;
     if m.is_empty() {
-        return Ok(vec![Value::Num(Matrix::empty()), Value::Num(Matrix::empty())]);
+        return Ok(vec![
+            Value::Num(Matrix::empty()),
+            Value::Num(Matrix::empty()),
+        ]);
     }
     let reduce_slice = |vals: &[Cx]| -> (Cx, usize) {
         let mut best = vals[0];
@@ -722,13 +725,7 @@ mod tests {
     #[test]
     fn size_two_outputs() {
         let mut h = TestHost::new();
-        let outs = call_builtin(
-            &mut h,
-            "size",
-            vec![Value::Num(Matrix::zeros(4, 7))],
-            2,
-        )
-        .unwrap();
+        let outs = call_builtin(&mut h, "size", vec![Value::Num(Matrix::zeros(4, 7))], 2).unwrap();
         assert_eq!(outs.len(), 2);
         assert_eq!(outs[1].as_matrix().unwrap().as_real_scalar().unwrap(), 7.0);
     }
@@ -889,7 +886,10 @@ mod tests {
 
     #[test]
     fn fliplr_reverses_columns() {
-        let r = call("fliplr", vec![Value::Num(Matrix::row_from_f64(&[1.0, 2.0, 3.0]))]);
+        let r = call(
+            "fliplr",
+            vec![Value::Num(Matrix::row_from_f64(&[1.0, 2.0, 3.0]))],
+        );
         let m = r[0].as_matrix().unwrap();
         assert_eq!(m.lin(0).re, 3.0);
         assert_eq!(m.lin(2).re, 1.0);

@@ -262,7 +262,9 @@ impl Interpreter {
                 frame.vars.insert(param.clone(), arg);
             }
         }
-        frame.vars.insert("nargin".into(), Value::scalar(nargin as f64));
+        frame
+            .vars
+            .insert("nargin".into(), Value::scalar(nargin as f64));
         frame
             .vars
             .insert("nargout".into(), Value::scalar(nargout as f64));
@@ -336,10 +338,7 @@ impl Interpreter {
                     other => vec![self.eval(other, frame)?],
                 };
                 if outs.len() < targets.iter().filter(|t| t.is_some()).count() {
-                    return Err(RuntimeError::new(
-                        "not enough output arguments",
-                        *span,
-                    ));
+                    return Err(RuntimeError::new("not enough output arguments", *span));
                 }
                 for (target, value) in targets.iter().zip(outs) {
                     if let Some(t) = target {
@@ -470,13 +469,7 @@ impl Interpreter {
                     .map_err(|m| RuntimeError::new(m, *span))?;
                 match indices.len() {
                     1 => {
-                        let idx = self.eval_index(
-                            &indices[0],
-                            frame,
-                            &[base.numel()],
-                            0,
-                            *span,
-                        )?;
+                        let idx = self.eval_index(&indices[0], frame, &[base.numel()], 0, *span)?;
                         base.assign_linear(&idx, &rhs)
                             .map_err(|m| RuntimeError::new(m, *span))?;
                     }
@@ -562,22 +555,19 @@ impl Interpreter {
         self.burn(expr.span())?;
         match expr {
             Expr::Number { value, .. } => Ok(Value::scalar(*value)),
-            Expr::Imaginary { value, .. } => {
-                Ok(Value::Num(Matrix::scalar(Cx::new(0.0, *value))))
-            }
+            Expr::Imaginary { value, .. } => Ok(Value::Num(Matrix::scalar(Cx::new(0.0, *value)))),
             Expr::Str { value, .. } => Ok(Value::Str(value.clone())),
             Expr::Ident { name, span } => {
                 if let Some(v) = frame.vars.get(name) {
                     return Ok(v.clone());
                 }
-                self.call_spanned(name, vec![], 1, *span)
-                    .map(|mut outs| {
-                        if outs.is_empty() {
-                            Value::Num(Matrix::empty())
-                        } else {
-                            outs.swap_remove(0)
-                        }
-                    })
+                self.call_spanned(name, vec![], 1, *span).map(|mut outs| {
+                    if outs.is_empty() {
+                        Value::Num(Matrix::empty())
+                    } else {
+                        outs.swap_remove(0)
+                    }
+                })
             }
             Expr::Call { name, args, span } => self.eval_call(name, args, frame, *span),
             Expr::Binary { op, lhs, rhs, span } => {
@@ -1177,10 +1167,7 @@ mod tests {
         let outs = i
             .call("fir1", vec![Value::scalar(10.0)], 1)
             .expect("call ok");
-        assert_eq!(
-            outs[0].as_matrix().unwrap().as_real_scalar().unwrap(),
-            20.0
-        );
+        assert_eq!(outs[0].as_matrix().unwrap().as_real_scalar().unwrap(), 20.0);
     }
 
     #[test]

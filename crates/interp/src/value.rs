@@ -11,11 +11,18 @@ use std::rc::Rc;
 /// Scalars are 1×1 matrices, vectors are 1×N or N×1. A matrix tracks
 /// whether it is `logical` (the result of a comparison) because MATLAB
 /// logical arrays index differently from numeric ones.
+///
+/// Element storage is reference-counted with copy-on-write: `clone` is
+/// O(1) and shares the payload, and the first mutation through
+/// [`Matrix::data_mut`]/[`Matrix::at_mut`] on a shared payload copies it.
+/// MATLAB value semantics are preserved — the sharing is unobservable —
+/// but the simulator's operand reads and value-copy assignments stop
+/// allocating.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
-    data: Vec<Cx>,
+    data: Rc<Vec<Cx>>,
     logical: bool,
 }
 
@@ -30,7 +37,7 @@ impl Matrix {
         Matrix {
             rows,
             cols,
-            data,
+            data: Rc::new(data),
             logical: false,
         }
     }
@@ -52,12 +59,20 @@ impl Matrix {
 
     /// A 1×N row vector from real values.
     pub fn row_from_f64(values: &[f64]) -> Matrix {
-        Matrix::new(1, values.len(), values.iter().map(|&v| Cx::real(v)).collect())
+        Matrix::new(
+            1,
+            values.len(),
+            values.iter().map(|&v| Cx::real(v)).collect(),
+        )
     }
 
     /// An N×1 column vector from real values.
     pub fn col_from_f64(values: &[f64]) -> Matrix {
-        Matrix::new(values.len(), 1, values.iter().map(|&v| Cx::real(v)).collect())
+        Matrix::new(
+            values.len(),
+            1,
+            values.iter().map(|&v| Cx::real(v)).collect(),
+        )
     }
 
     /// A 1×N row vector from complex values.
@@ -167,9 +182,15 @@ impl Matrix {
     }
 
     /// Mutable column-major element slice (shape is fixed; only element
-    /// values may change).
+    /// values may change). Detaches from any sharers first (copy-on-write).
     pub fn data_mut(&mut self) -> &mut [Cx] {
-        &mut self.data
+        Rc::make_mut(&mut self.data).as_mut_slice()
+    }
+
+    /// The element vector by value, avoiding a copy when unshared.
+    fn take_data(&mut self) -> Vec<Cx> {
+        let rc = std::mem::take(&mut self.data);
+        Rc::try_unwrap(rc).unwrap_or_else(|rc| (*rc).clone())
     }
 
     /// Element at 0-based `(row, col)`.
@@ -189,7 +210,8 @@ impl Matrix {
     /// Panics if out of bounds.
     pub fn at_mut(&mut self, row: usize, col: usize) -> &mut Cx {
         assert!(row < self.rows && col < self.cols, "index out of bounds");
-        &mut self.data[col * self.rows + row]
+        let k = col * self.rows + row;
+        &mut self.data_mut()[k]
     }
 
     /// Element at 0-based column-major linear index.
@@ -230,7 +252,11 @@ impl Matrix {
 
     /// Applies `f` to every element, preserving shape.
     pub fn map(&self, f: impl Fn(Cx) -> Cx) -> Matrix {
-        Matrix::new(self.rows, self.cols, self.data.iter().map(|&z| f(z)).collect())
+        Matrix::new(
+            self.rows,
+            self.cols,
+            self.data.iter().map(|&z| f(z)).collect(),
+        )
     }
 
     /// Element-wise combine with scalar broadcast (MATLAB pre-2016b rules:
@@ -255,7 +281,7 @@ impl Matrix {
             self.cols,
             self.data
                 .iter()
-                .zip(&other.data)
+                .zip(other.data.iter())
                 .map(|(&a, &b)| f(a, b))
                 .collect(),
         ))
@@ -317,7 +343,7 @@ impl Matrix {
         if self.rows != other.rows {
             return Err("horizontal concatenation row mismatch".to_string());
         }
-        let mut data = self.data.clone();
+        let mut data = (*self.data).clone();
         data.extend_from_slice(&other.data);
         Ok(Matrix::new(self.rows, self.cols + other.cols, data))
     }
@@ -373,9 +399,7 @@ impl Matrix {
                 }
                 let k = v as usize - 1;
                 if k >= limit {
-                    return Err(format!(
-                        "index {v} out of bounds (extent {limit})"
-                    ));
+                    return Err(format!("index {v} out of bounds (extent {limit})"));
                 }
                 Ok(k)
             })
@@ -391,13 +415,7 @@ impl Matrix {
         let positions = Self::index_positions(idx, self.numel())?;
         let data: Vec<Cx> = positions.iter().map(|&k| self.data[k]).collect();
         let n = data.len();
-        let (rows, cols) = if idx.is_logical() {
-            if self.rows == 1 {
-                (1, n)
-            } else {
-                (n, 1)
-            }
-        } else if self.is_vector() && idx.is_vector() {
+        let (rows, cols) = if idx.is_logical() || (self.is_vector() && idx.is_vector()) {
             if self.rows == 1 {
                 (1, n)
             } else {
@@ -428,7 +446,11 @@ impl Matrix {
 
     /// All indices of one dimension, used for `:` subscripts.
     pub fn colon_index(extent: usize) -> Matrix {
-        Matrix::new(1, extent, (1..=extent).map(|k| Cx::real(k as f64)).collect())
+        Matrix::new(
+            1,
+            extent,
+            (1..=extent).map(|k| Cx::real(k as f64)).collect(),
+        )
     }
 
     /// Linear indexed assignment `A(idx) = rhs`, growing a vector if the
@@ -439,7 +461,7 @@ impl Matrix {
         if idx.is_logical() {
             max_needed = idx.numel();
         } else {
-            for z in &idx.data {
+            for z in idx.data.iter() {
                 if !z.is_real() || z.re < 1.0 || z.re != z.re.trunc() {
                     return Err("index must be a positive integer".to_string());
                 }
@@ -450,17 +472,18 @@ impl Matrix {
             self.grow_linear(max_needed)?;
         }
         let positions = Self::index_positions(idx, self.numel())?;
+        let data = self.data_mut();
         if rhs.is_scalar() {
             let v = rhs.data[0];
             for &k in &positions {
-                self.data[k] = v;
+                data[k] = v;
             }
         } else {
             if rhs.numel() != positions.len() {
                 return Err("assignment size mismatch".to_string());
             }
             for (n, &k) in positions.iter().enumerate() {
-                self.data[k] = rhs.data[n];
+                data[k] = rhs.data[n];
             }
         }
         Ok(())
@@ -471,12 +494,12 @@ impl Matrix {
             *self = Matrix::zeros(1, needed);
             Ok(())
         } else if self.rows == 1 {
-            let mut data = std::mem::take(&mut self.data);
+            let mut data = self.take_data();
             data.resize(needed, Cx::ZERO);
             *self = Matrix::new(1, needed, data);
             Ok(())
         } else if self.cols == 1 {
-            let mut data = std::mem::take(&mut self.data);
+            let mut data = self.take_data();
             data.resize(needed, Cx::ZERO);
             *self = Matrix::new(needed, 1, data);
             Ok(())
@@ -490,13 +513,13 @@ impl Matrix {
     pub fn assign_2d(&mut self, ri: &Matrix, ci: &Matrix, rhs: &Matrix) -> Result<(), String> {
         let mut max_r = 0usize;
         let mut max_c = 0usize;
-        for z in &ri.data {
+        for z in ri.data.iter() {
             if !z.is_real() || z.re < 1.0 || z.re != z.re.trunc() {
                 return Err("row index must be a positive integer".to_string());
             }
             max_r = max_r.max(z.re as usize);
         }
-        for z in &ci.data {
+        for z in ci.data.iter() {
             if !z.is_real() || z.re < 1.0 || z.re != z.re.trunc() {
                 return Err("column index must be a positive integer".to_string());
             }
@@ -540,7 +563,13 @@ impl Matrix {
         if rows * cols != self.numel() {
             return Err("reshape element count mismatch".to_string());
         }
-        Ok(Matrix::new(rows, cols, self.data.clone()))
+        // Same elements, new shape: share the payload (copy-on-write).
+        Ok(Matrix {
+            rows,
+            cols,
+            data: Rc::clone(&self.data),
+            logical: false,
+        })
     }
 
     /// Reduction over MATLAB's default dimension: columns for matrices,
@@ -584,7 +613,7 @@ impl Matrix {
         Some(
             self.data
                 .iter()
-                .zip(&other.data)
+                .zip(other.data.iter())
                 .map(|(a, b)| (*a - *b).abs())
                 .fold(0.0, f64::max),
         )
@@ -853,7 +882,10 @@ mod tests {
     #[test]
     fn reduce_vector_and_matrix() {
         let v = Matrix::row_from_f64(&[1.0, 2.0, 3.0]);
-        assert_eq!(v.reduce(Cx::ZERO, |a, b| a + b).as_scalar().unwrap().re, 6.0);
+        assert_eq!(
+            v.reduce(Cx::ZERO, |a, b| a + b).as_scalar().unwrap().re,
+            6.0
+        );
         let a = m(2, 2, &[1.0, 2.0, 3.0, 4.0]);
         let s = a.reduce(Cx::ZERO, |x, y| x + y);
         assert_eq!((s.rows(), s.cols()), (1, 2));

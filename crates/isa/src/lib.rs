@@ -21,6 +21,7 @@
 //! assert_eq!(target, reloaded);
 //! ```
 
+pub mod json;
 pub mod op;
 pub mod spec;
 

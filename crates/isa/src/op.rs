@@ -4,7 +4,6 @@
 //! can charge — is keyed by an [`OpClass`]. The parameterized ISA
 //! description maps each class to availability and a cycle cost.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A machine operation class.
@@ -13,8 +12,7 @@ use std::fmt;
 /// in lanes) per issue; `Complex*` classes are the custom complex-arithmetic
 /// instructions the paper highlights; `VComplex*` are their vectorized
 /// combinations (a SIMD word of complex pairs).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
-#[serde(rename_all = "snake_case")]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum OpClass {
     // Scalar core (always present — any C-programmable processor has these).
     /// Integer/float add, sub, logic, compares, moves.
@@ -150,6 +148,48 @@ impl OpClass {
         )
     }
 
+    /// Number of operation classes; `op as usize` indexes a dense table
+    /// of this size (discriminants follow declaration order).
+    pub const COUNT: usize = 24;
+
+    /// The snake_case name used in JSON spec files (e.g. `v_complex_mul`).
+    pub fn snake_name(self) -> &'static str {
+        match self {
+            OpClass::ScalarAlu => "scalar_alu",
+            OpClass::ScalarMul => "scalar_mul",
+            OpClass::ScalarDiv => "scalar_div",
+            OpClass::ScalarSqrt => "scalar_sqrt",
+            OpClass::ScalarTrans => "scalar_trans",
+            OpClass::Load => "load",
+            OpClass::Store => "store",
+            OpClass::Branch => "branch",
+            OpClass::Call => "call",
+            OpClass::VectorAlu => "vector_alu",
+            OpClass::VectorMul => "vector_mul",
+            OpClass::VectorDiv => "vector_div",
+            OpClass::VectorMac => "vector_mac",
+            OpClass::VectorRedAdd => "vector_red_add",
+            OpClass::VectorRedMinMax => "vector_red_min_max",
+            OpClass::VectorLoad => "vector_load",
+            OpClass::VectorStore => "vector_store",
+            OpClass::ComplexAdd => "complex_add",
+            OpClass::ComplexMul => "complex_mul",
+            OpClass::ComplexMac => "complex_mac",
+            OpClass::ComplexConj => "complex_conj",
+            OpClass::VComplexAdd => "v_complex_add",
+            OpClass::VComplexMul => "v_complex_mul",
+            OpClass::VComplexMac => "v_complex_mac",
+        }
+    }
+
+    /// Inverse of [`OpClass::snake_name`].
+    pub fn from_snake(name: &str) -> Option<OpClass> {
+        OpClass::ALL
+            .iter()
+            .copied()
+            .find(|op| op.snake_name() == name)
+    }
+
     /// Short mnemonic used in intrinsic names and disassembly.
     pub fn mnemonic(self) -> &'static str {
         match self {
@@ -215,16 +255,20 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn snake_name_round_trip() {
         for &op in OpClass::ALL {
-            let s = serde_json::to_string(&op).unwrap();
-            let back: OpClass = serde_json::from_str(&s).unwrap();
-            assert_eq!(op, back);
+            assert_eq!(OpClass::from_snake(op.snake_name()), Some(op));
         }
-        assert_eq!(
-            serde_json::to_string(&OpClass::VComplexMul).unwrap(),
-            "\"v_complex_mul\""
-        );
+        assert_eq!(OpClass::VComplexMul.snake_name(), "v_complex_mul");
+        assert_eq!(OpClass::from_snake("not_an_op"), None);
+    }
+
+    #[test]
+    fn discriminants_are_dense_and_ordered() {
+        assert_eq!(OpClass::ALL.len(), OpClass::COUNT);
+        for (i, &op) in OpClass::ALL.iter().enumerate() {
+            assert_eq!(op as usize, i, "{op} discriminant out of order");
+        }
     }
 
     #[test]

@@ -8,13 +8,13 @@
 //! generated ANSI C. Specs serialize to JSON so new targets are data, not
 //! code.
 
+use crate::json::{self, Json};
 use crate::op::OpClass;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// Which custom-instruction families a target implements.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Features {
     /// SIMD element-wise/reduction instructions (`vadd`, `vmul`, `vred*`…).
     pub simd: bool,
@@ -49,7 +49,7 @@ impl Features {
 /// Costs are *per issue*: a `VectorMul` costs `cost(VectorMul)` cycles and
 /// retires `vector_width` lane results, which is exactly how the custom
 /// instructions of the paper's ASIP amortize work.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CostModel {
     costs: BTreeMap<OpClass, u32>,
 }
@@ -107,7 +107,7 @@ impl Default for CostModel {
 }
 
 /// A complete parameterized target description.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct IsaSpec {
     /// Target name (used in reports and generated-file headers).
     pub name: String,
@@ -129,7 +129,9 @@ impl IsaSpec {
     pub fn dsp16() -> IsaSpec {
         IsaSpec {
             name: "dsp16".to_string(),
-            description: "DSP-oriented ASIP with 8-lane SIMD, complex-arithmetic and MAC custom instructions".to_string(),
+            description:
+                "DSP-oriented ASIP with 8-lane SIMD, complex-arithmetic and MAC custom instructions"
+                    .to_string(),
             vector_width: 8,
             features: Features::all(),
             costs: CostModel::dsp_default(),
@@ -209,18 +211,97 @@ impl IsaSpec {
         format!("{}_{}", self.intrinsic_prefix, op.mnemonic())
     }
 
-    /// Serializes the spec to pretty JSON.
+    /// Serializes the spec to pretty JSON (the on-disk target format:
+    /// adding a processor is a data change, not a code change).
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("IsaSpec serializes")
+        let cost_fields: Vec<(String, Json)> = self
+            .costs
+            .costs
+            .iter()
+            .map(|(op, c)| (op.snake_name().to_string(), Json::Num(*c as f64)))
+            .collect();
+        Json::Obj(vec![
+            ("name".into(), Json::Str(self.name.clone())),
+            ("description".into(), Json::Str(self.description.clone())),
+            ("vector_width".into(), Json::Num(self.vector_width as f64)),
+            (
+                "features".into(),
+                Json::Obj(vec![
+                    ("simd".into(), Json::Bool(self.features.simd)),
+                    ("complex".into(), Json::Bool(self.features.complex)),
+                    ("mac".into(), Json::Bool(self.features.mac)),
+                ]),
+            ),
+            (
+                "costs".into(),
+                Json::Obj(vec![("costs".into(), Json::Obj(cost_fields))]),
+            ),
+            (
+                "intrinsic_prefix".into(),
+                Json::Str(self.intrinsic_prefix.clone()),
+            ),
+        ])
+        .pretty()
     }
 
-    /// Parses a spec from JSON.
+    /// Parses a spec from JSON. All fields are required; unknown cost keys
+    /// are rejected so typos in spec files surface immediately.
     ///
     /// # Errors
     ///
-    /// Returns the serde error message when the JSON is malformed.
-    pub fn from_json(json: &str) -> Result<IsaSpec, String> {
-        serde_json::from_str(json).map_err(|e| e.to_string())
+    /// Returns a message describing the malformed or missing field.
+    pub fn from_json(text: &str) -> Result<IsaSpec, String> {
+        let doc = json::parse(text)?;
+        let str_field = |key: &str| -> Result<String, String> {
+            doc.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing or non-string field `{key}`"))
+        };
+        let features = doc
+            .get("features")
+            .ok_or_else(|| "missing field `features`".to_string())?;
+        let flag = |key: &str| -> Result<bool, String> {
+            features
+                .get(key)
+                .and_then(Json::as_bool)
+                .ok_or_else(|| format!("missing or non-bool field `features.{key}`"))
+        };
+        let cost_obj = doc
+            .get("costs")
+            .and_then(|c| c.get("costs"))
+            .ok_or_else(|| "missing field `costs.costs`".to_string())?;
+        let mut costs = BTreeMap::new();
+        match cost_obj {
+            Json::Obj(fields) => {
+                for (key, val) in fields {
+                    let op = OpClass::from_snake(key)
+                        .ok_or_else(|| format!("unknown op class `{key}` in costs"))?;
+                    let cycles = val
+                        .as_u64()
+                        .filter(|c| *c <= u32::MAX as u64)
+                        .ok_or_else(|| format!("invalid cycle count for `{key}`"))?;
+                    costs.insert(op, cycles as u32);
+                }
+            }
+            _ => return Err("`costs.costs` must be an object".to_string()),
+        }
+        Ok(IsaSpec {
+            name: str_field("name")?,
+            description: str_field("description")?,
+            vector_width: doc
+                .get("vector_width")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| "missing or non-integer field `vector_width`".to_string())?
+                as usize,
+            features: Features {
+                simd: flag("simd")?,
+                complex: flag("complex")?,
+                mac: flag("mac")?,
+            },
+            costs: CostModel { costs },
+            intrinsic_prefix: str_field("intrinsic_prefix")?,
+        })
     }
 
     /// Validates internal consistency (width vs. features).

@@ -98,17 +98,13 @@ fn inline_in_body(
                 dst,
                 rv: Rvalue::Call { func, args },
                 span,
-            } => {
-                match snapshot.function(func) {
-                    Some(callee)
-                        if callee.name != f.name && inlinable(callee, limit) =>
-                    {
-                        expand(f, &mut out, callee, args, &[Some(*dst)], *span);
-                        *count += 1;
-                    }
-                    _ => out.push(stmt),
+            } => match snapshot.function(func) {
+                Some(callee) if callee.name != f.name && inlinable(callee, limit) => {
+                    expand(f, &mut out, callee, args, &[Some(*dst)], *span);
+                    *count += 1;
                 }
-            }
+                _ => out.push(stmt),
+            },
             Stmt::CallMulti {
                 dsts,
                 func,
@@ -203,9 +199,9 @@ fn remap_body(stmts: &mut [Stmt], remap: &HashMap<VarId, VarId>) {
             Stmt::Def { dst, rv, .. } => {
                 *dst = remap[dst];
                 match rv {
-                    Rvalue::Use(a)
-                    | Rvalue::Unary { a, .. }
-                    | Rvalue::Transpose { a, .. } => remap_op(a, remap),
+                    Rvalue::Use(a) | Rvalue::Unary { a, .. } | Rvalue::Transpose { a, .. } => {
+                        remap_op(a, remap)
+                    }
                     Rvalue::Binary { a, b, .. } => {
                         remap_op(a, remap);
                         remap_op(b, remap);
@@ -340,7 +336,8 @@ mod tests {
 
     #[test]
     fn leaf_helper_is_inlined() {
-        let src = "function y = top(x)\ny = sq(x) + sq(x + 1);\nend\nfunction z = sq(t)\nz = t * t;\nend";
+        let src =
+            "function y = top(x)\ny = sq(x) + sq(x + 1);\nend\nfunction z = sq(t)\nz = t * t;\nend";
         let mut mir = lower(src, "top", &[Ty::double_scalar()]);
         let n = inline_program(&mut mir, DEFAULT_INLINE_LIMIT);
         assert_eq!(n, 2);
@@ -398,7 +395,8 @@ mod tests {
     fn vector_helper_exposes_idiom_after_inlining() {
         // Without inlining the loop body contains a call; with inlining
         // the MAC idiom becomes visible to the vectorizer.
-        let src = "function s = top(a, b, n)\ns = 0;\nfor i = 1:n\n s = s + prodat(a, b, i);\nend\nend\n\
+        let src =
+            "function s = top(a, b, n)\ns = 0;\nfor i = 1:n\n s = s + prodat(a, b, i);\nend\nend\n\
                    function p = prodat(a, b, i)\np = a(i) * b(i);\nend";
         let v = Ty::new(Class::Double, Shape::row(Dim::Known(32)));
         let mut mir = lower(src, "top", &[v, v, Ty::double_scalar()]);

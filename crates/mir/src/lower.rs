@@ -184,11 +184,8 @@ impl<'a> Lowerer<'a> {
                 // Effect builtins become Effect statements; other bare
                 // expressions evaluate into `ans`.
                 if let Expr::Call { name, args, .. } = expr {
-                    if !self.assigned.contains(name)
-                        && EFFECT_BUILTINS.contains(&name.as_str())
-                    {
-                        let ops: Vec<Operand> =
-                            args.iter().map(|a| self.lower_expr(a)).collect();
+                    if !self.assigned.contains(name) && EFFECT_BUILTINS.contains(&name.as_str()) {
+                        let ops: Vec<Operand> = args.iter().map(|a| self.lower_expr(a)).collect();
                         self.emit(Stmt::Effect {
                             name: name.clone(),
                             args: ops,
@@ -265,10 +262,8 @@ impl<'a> Lowerer<'a> {
 
     fn lower_multi_assign(&mut self, targets: &[Option<LValue>], call: &Expr, span: Span) {
         let Expr::Call { name, args, .. } = call else {
-            self.diags.error(
-                "multi-output assignment requires a function call",
-                span,
-            );
+            self.diags
+                .error("multi-output assignment requires a function call", span);
             return;
         };
         let ops: Vec<Operand> = args.iter().map(|a| self.lower_expr(a)).collect();
@@ -452,9 +447,7 @@ impl<'a> Lowerer<'a> {
     /// lands in a named register, avoiding a copy through a temp).
     fn lower_expr_rvalue(&mut self, expr: &Expr) -> Rvalue {
         match expr {
-            Expr::Binary { op, lhs, rhs, .. }
-                if !matches!(op, BinOp::AndAnd | BinOp::OrOr) =>
-            {
+            Expr::Binary { op, lhs, rhs, .. } if !matches!(op, BinOp::AndAnd | BinOp::OrOr) => {
                 let a = self.lower_expr(lhs);
                 let b = self.lower_expr(rhs);
                 Rvalue::Binary { op: *op, a, b }
@@ -586,13 +579,11 @@ impl<'a> Lowerer<'a> {
                 )
             }
             Expr::ColonAll { span } => {
-                self.diags
-                    .error("`:` outside an index expression", *span);
+                self.diags.error("`:` outside an index expression", *span);
                 Operand::Const(0.0)
             }
             Expr::EndKeyword { span } => {
-                self.diags
-                    .error("`end` outside an index expression", *span);
+                self.diags.error("`end` outside an index expression", *span);
                 Operand::Const(0.0)
             }
             Expr::Matrix { rows, .. } => self.lower_matrix(rows, span),
@@ -648,22 +639,14 @@ impl<'a> Lowerer<'a> {
                 span,
             ),
             None => {
-                self.diags.error(
-                    format!("call to unknown function `{name}`"),
-                    span,
-                );
+                self.diags
+                    .error(format!("call to unknown function `{name}`"), span);
                 Operand::Const(0.0)
             }
         }
     }
 
-    fn lower_short_circuit(
-        &mut self,
-        op: BinOp,
-        lhs: &Expr,
-        rhs: &Expr,
-        span: Span,
-    ) -> Operand {
+    fn lower_short_circuit(&mut self, op: BinOp, lhs: &Expr, rhs: &Expr, span: Span) -> Operand {
         let result = self.temp(Ty::new(Class::Logical, Shape::scalar()));
         let a = self.lower_cond(lhs);
         let then_body;
@@ -743,7 +726,11 @@ impl<'a> Lowerer<'a> {
         } else {
             Shape::unknown()
         };
-        self.def_temp(Rvalue::MatrixLit { rows: op_rows }, Ty::new(class, shape), span)
+        self.def_temp(
+            Rvalue::MatrixLit { rows: op_rows },
+            Ty::new(class, shape),
+            span,
+        )
     }
 
     /// Lowers the index list of `array(...)`, rewriting `end`.
@@ -814,10 +801,7 @@ impl<'a> Lowerer<'a> {
                     self.def_temp(
                         Rvalue::Builtin {
                             name: "size".to_string(),
-                            args: vec![
-                                Operand::Var(array),
-                                Operand::Const((position + 1) as f64),
-                            ],
+                            args: vec![Operand::Var(array), Operand::Const((position + 1) as f64)],
                         },
                         Ty::double_scalar(),
                         *span,
@@ -832,11 +816,8 @@ impl<'a> Lowerer<'a> {
                         return Operand::Const(v);
                     }
                 }
-                let (ty, _) = matic_sema::binop_result(
-                    *op,
-                    self.func.operand_ty(a),
-                    self.func.operand_ty(b),
-                );
+                let (ty, _) =
+                    matic_sema::binop_result(*op, self.func.operand_ty(a), self.func.operand_ty(b));
                 self.def_temp(Rvalue::Binary { op: *op, a, b }, ty, *span)
             }
             Expr::Unary {
@@ -968,11 +949,7 @@ mod tests {
 
     #[test]
     fn end_becomes_constant_when_shape_known() {
-        let mir = lower_src(
-            "function y = f(x)\ny = x(end);\nend",
-            "f",
-            &[vec_arg(64)],
-        );
+        let mir = lower_src("function y = f(x)\ny = x(end);\nend", "f", &[vec_arg(64)]);
         let f = mir.function("f").unwrap();
         // The index should be folded to the constant 64.
         let mut found = false;

@@ -83,21 +83,13 @@ fn fold_rvalue(rv: &Rvalue) -> Option<Rvalue> {
             // the other operand's shape only when that operand is the
             // non-scalar one — using `Use` preserves it exactly).
             match (op, a.as_const(), b.as_const()) {
-                (BinOp::Add, Some(z), _) if z == 0.0 => Some(Rvalue::Use(*b)),
-                (BinOp::Add, _, Some(z)) if z == 0.0 => Some(Rvalue::Use(*a)),
-                (BinOp::Sub, _, Some(z)) if z == 0.0 => Some(Rvalue::Use(*a)),
-                (BinOp::ElemMul | BinOp::MatMul, Some(o), _) if o == 1.0 => {
-                    Some(Rvalue::Use(*b))
-                }
-                (BinOp::ElemMul | BinOp::MatMul, _, Some(o)) if o == 1.0 => {
-                    Some(Rvalue::Use(*a))
-                }
-                (BinOp::ElemDiv | BinOp::MatDiv, _, Some(o)) if o == 1.0 => {
-                    Some(Rvalue::Use(*a))
-                }
-                (BinOp::ElemPow | BinOp::MatPow, _, Some(o)) if o == 1.0 => {
-                    Some(Rvalue::Use(*a))
-                }
+                (BinOp::Add, Some(0.0), _) => Some(Rvalue::Use(*b)),
+                (BinOp::Add, _, Some(0.0)) => Some(Rvalue::Use(*a)),
+                (BinOp::Sub, _, Some(0.0)) => Some(Rvalue::Use(*a)),
+                (BinOp::ElemMul | BinOp::MatMul, Some(1.0), _) => Some(Rvalue::Use(*b)),
+                (BinOp::ElemMul | BinOp::MatMul, _, Some(1.0)) => Some(Rvalue::Use(*a)),
+                (BinOp::ElemDiv | BinOp::MatDiv, _, Some(1.0)) => Some(Rvalue::Use(*a)),
+                (BinOp::ElemPow | BinOp::MatPow, _, Some(1.0)) => Some(Rvalue::Use(*a)),
                 _ => None,
             }
         }
@@ -302,9 +294,7 @@ fn rewrite_operands(stmts: &mut [Stmt], rewrite: &mut dyn FnMut(&mut Operand)) {
                 }
                 Rvalue::StrLit(_) => {}
             },
-            Stmt::Store {
-                indices, value, ..
-            } => {
+            Stmt::Store { indices, value, .. } => {
                 for i in indices {
                     rewrite_index(i, rewrite);
                 }

@@ -142,12 +142,7 @@ fn print_stmt(out: &mut String, f: &MirFunction, s: &Stmt, level: usize) {
                 Rvalue::MatrixLit { rows } => {
                     let rs: Vec<String> = rows
                         .iter()
-                        .map(|r| {
-                            r.iter()
-                                .map(|x| fmt_op(f, x))
-                                .collect::<Vec<_>>()
-                                .join(" ")
-                        })
+                        .map(|r| r.iter().map(|x| fmt_op(f, x)).collect::<Vec<_>>().join(" "))
                         .collect();
                     let _ = write!(out, "[{}]", rs.join("; "));
                 }
@@ -280,9 +275,8 @@ mod tests {
 
     #[test]
     fn dump_is_stable_and_informative() {
-        let (p, _) = parse(
-            "function s = acc(x)\ns = 0;\nfor i = 1:length(x)\n s = s + x(i);\nend\nend",
-        );
+        let (p, _) =
+            parse("function s = acc(x)\ns = 0;\nfor i = 1:length(x)\n s = s + x(i);\nend\nend");
         let a = analyze(
             &p,
             "acc",

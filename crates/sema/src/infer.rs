@@ -313,7 +313,12 @@ impl<'p> InferCx<'p> {
         }
     }
 
-    fn infer_multi(&mut self, call: &Expr, nargout: usize, vars: &mut HashMap<String, Ty>) -> Vec<Ty> {
+    fn infer_multi(
+        &mut self,
+        call: &Expr,
+        nargout: usize,
+        vars: &mut HashMap<String, Ty>,
+    ) -> Vec<Ty> {
         if let Expr::Call { name, args, span } = call {
             if !vars.contains_key(name.as_str()) {
                 let arg_tys: Vec<Ty> = args.iter().map(|a| self.infer_expr(a, vars)).collect();
@@ -339,10 +344,9 @@ impl<'p> InferCx<'p> {
         match expr {
             Expr::Number { value, .. } => Ty::constant(*value),
             Expr::Imaginary { .. } => Ty::new(Class::Complex, Shape::scalar()),
-            Expr::Str { value, .. } => Ty::new(
-                Class::Char,
-                Shape::row(Dim::Known(value.chars().count())),
-            ),
+            Expr::Str { value, .. } => {
+                Ty::new(Class::Char, Shape::row(Dim::Known(value.chars().count())))
+            }
             Expr::Ident { name, span } => {
                 if let Some(t) = vars.get(name.as_str()) {
                     return *t;
@@ -354,10 +358,8 @@ impl<'p> InferCx<'p> {
                 if let Some(t) = builtin_result(name, &[]) {
                     return t;
                 }
-                self.diags.error(
-                    format!("undefined variable or function `{name}`"),
-                    *span,
-                );
+                self.diags
+                    .error(format!("undefined variable or function `{name}`"), *span);
                 Ty::unknown()
             }
             Expr::Call { name, args, span } => {
@@ -366,7 +368,10 @@ impl<'p> InferCx<'p> {
                     // lengths so slice results keep known extents.
                     let mut range_lens = Vec::with_capacity(args.len());
                     for a in args {
-                        let l = if let Expr::Range { start, step, stop, .. } = a {
+                        let l = if let Expr::Range {
+                            start, step, stop, ..
+                        } = a
+                        {
                             let st = self.infer_expr(start, vars).constant;
                             let sp = match step {
                                 Some(e) => self.infer_expr(e, vars).constant,
@@ -390,10 +395,8 @@ impl<'p> InferCx<'p> {
                 if let Some(t) = builtin_result(name, &arg_tys) {
                     return t;
                 }
-                self.diags.error(
-                    format!("call to undefined function `{name}`"),
-                    *span,
-                );
+                self.diags
+                    .error(format!("call to undefined function `{name}`"), *span);
                 Ty::unknown()
             }
             Expr::Binary { op, lhs, rhs, span } => {
@@ -417,11 +420,8 @@ impl<'p> InferCx<'p> {
                 let e = self.infer_expr(stop, vars);
                 let len = range_len(
                     s.constant,
-                    st.and_then(|t| t.constant).or(if step.is_none() {
-                        Some(1.0)
-                    } else {
-                        None
-                    }),
+                    st.and_then(|t| t.constant)
+                        .or(if step.is_none() { Some(1.0) } else { None }),
                     e.constant,
                 );
                 Ty::new(
@@ -439,8 +439,7 @@ impl<'p> InferCx<'p> {
     fn infer_binop(&mut self, op: BinOp, l: Ty, r: Ty, span: Span) -> Ty {
         let (ty, mismatch) = crate::transfer::binop_result(op, l, r);
         if mismatch {
-            self.diags
-                .warning("operand shapes provably mismatch", span);
+            self.diags.warning("operand shapes provably mismatch", span);
         }
         ty
     }
@@ -595,11 +594,7 @@ mod tests {
     #[test]
     fn vector_parameter_shapes() {
         let arg = Ty::new(Class::Double, Shape::row(Dim::Known(64)));
-        let a = analyze_src(
-            "function y = f(x)\ny = x .* x;\nend",
-            "f",
-            &[arg],
-        );
+        let a = analyze_src("function y = f(x)\ny = x .* x;\nend", "f", &[arg]);
         assert_eq!(
             a.function("f").unwrap().var_ty("y").shape,
             Shape::row(Dim::Known(64))
@@ -621,11 +616,7 @@ mod tests {
 
     #[test]
     fn constant_dims_propagate() {
-        let a = analyze_src(
-            "function y = f()\ny = zeros(1, 64);\nend",
-            "f",
-            &[],
-        );
+        let a = analyze_src("function y = f()\ny = zeros(1, 64);\nend", "f", &[]);
         assert_eq!(
             a.function("f").unwrap().var_ty("y").shape,
             Shape::known(1, 64)
@@ -645,7 +636,8 @@ mod tests {
 
     #[test]
     fn callee_analysis() {
-        let src = "function y = top(x)\ny = helper(x) + 1;\nend\nfunction z = helper(x)\nz = 2 * x;\nend";
+        let src =
+            "function y = top(x)\ny = helper(x) + 1;\nend\nfunction z = helper(x)\nz = 2 * x;\nend";
         let a = analyze_src(src, "top", &[Ty::double_scalar()]);
         assert!(a.function("helper").is_some());
         assert_eq!(a.function("top").unwrap().var_ty("y").class, Class::Double);
@@ -660,22 +652,14 @@ mod tests {
 
     #[test]
     fn undefined_variable_diagnosed() {
-        let a = analyze_src(
-            "function y = f()\ny = mystery + 1;\nend",
-            "f",
-            &[],
-        );
+        let a = analyze_src("function y = f()\ny = mystery + 1;\nend", "f", &[]);
         assert!(a.diags.has_errors());
     }
 
     #[test]
     fn indexing_scalar_element() {
         let arg = Ty::new(Class::Complex, Shape::row(Dim::Known(8)));
-        let a = analyze_src(
-            "function y = f(x)\ny = x(3);\nend",
-            "f",
-            &[arg],
-        );
+        let a = analyze_src("function y = f(x)\ny = x(3);\nend", "f", &[arg]);
         let y = a.function("f").unwrap().var_ty("y");
         assert_eq!(y.class, Class::Complex);
         assert!(y.shape.is_scalar());
@@ -714,11 +698,7 @@ mod tests {
 
     #[test]
     fn range_length_from_constants() {
-        let a = analyze_src(
-            "function y = f()\ny = 0:2:10;\nend",
-            "f",
-            &[],
-        );
+        let a = analyze_src("function y = f()\ny = 0:2:10;\nend", "f", &[]);
         assert_eq!(
             a.function("f").unwrap().var_ty("y").shape,
             Shape::row(Dim::Known(6))
@@ -752,11 +732,7 @@ mod tests {
     fn matmul_shape() {
         let a = Ty::new(Class::Double, Shape::known(4, 8));
         let b = Ty::new(Class::Double, Shape::known(8, 3));
-        let an = analyze_src(
-            "function c = f(a, b)\nc = a * b;\nend",
-            "f",
-            &[a, b],
-        );
+        let an = analyze_src("function c = f(a, b)\nc = a * b;\nend", "f", &[a, b]);
         assert_eq!(
             an.function("f").unwrap().var_ty("c").shape,
             Shape::known(4, 3)

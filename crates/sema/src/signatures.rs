@@ -38,9 +38,7 @@ pub fn builtin_result(name: &str, args: &[Ty]) -> Option<Ty> {
                 Ty::new(Class::Double, Shape::known(1, 2))
             }
         }
-        "isempty" | "isreal" | "isscalar" | "isvector" => {
-            Ty::new(Class::Logical, Shape::scalar())
-        }
+        "isempty" | "isreal" | "isscalar" | "isvector" => Ty::new(Class::Logical, Shape::scalar()),
 
         // Real-result element-wise maps.
         "abs" | "real" | "imag" | "angle" => Ty::new(Class::Double, first.shape),
@@ -63,7 +61,10 @@ pub fn builtin_result(name: &str, args: &[Ty]) -> Option<Ty> {
         // Binary element-wise.
         "atan2" | "mod" | "rem" => {
             let second = args.get(1).copied().unwrap_or_else(Ty::unknown);
-            let shape = first.shape.broadcast(second.shape).unwrap_or_else(Shape::unknown);
+            let shape = first
+                .shape
+                .broadcast(second.shape)
+                .unwrap_or_else(Shape::unknown);
             Ty::new(Class::Double, shape)
         }
         "min" | "max" => {
@@ -145,7 +146,7 @@ fn reduce_class(c: Class) -> Class {
 fn reduce_shape(s: Shape) -> Shape {
     if s.is_vector() || s.is_scalar() {
         Shape::scalar()
-    } else if let Some(_) = s.cols.known() {
+    } else if s.cols.known().is_some() {
         Shape::row(s.cols)
     } else {
         Shape::unknown()
@@ -212,7 +213,10 @@ mod tests {
     #[test]
     fn conj_preserves_complex() {
         let arg = Ty::new(Class::Complex, Shape::scalar());
-        assert_eq!(builtin_result("conj", &[arg]).unwrap().class, Class::Complex);
+        assert_eq!(
+            builtin_result("conj", &[arg]).unwrap().class,
+            Class::Complex
+        );
         let arg = Ty::new(Class::Double, Shape::scalar());
         assert_eq!(builtin_result("conj", &[arg]).unwrap().class, Class::Double);
     }
@@ -234,11 +238,7 @@ mod tests {
     fn sqrt_of_known_real_may_stay_double() {
         let t = builtin_result("sqrt", &[Ty::double_scalar()]).unwrap();
         assert_eq!(t.class, Class::Double);
-        let t = builtin_result(
-            "sqrt",
-            &[Ty::new(Class::Complex, Shape::scalar())],
-        )
-        .unwrap();
+        let t = builtin_result("sqrt", &[Ty::new(Class::Complex, Shape::scalar())]).unwrap();
         assert_eq!(t.class, Class::Complex);
     }
 }

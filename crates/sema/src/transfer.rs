@@ -21,7 +21,11 @@ pub fn binop_result(op: BinOp, l: Ty, r: Ty) -> (Ty, bool) {
     match op {
         BinOp::MatMul => {
             if l.shape.is_scalar() || r.shape.is_scalar() {
-                let shape = if l.shape.is_scalar() { r.shape } else { l.shape };
+                let shape = if l.shape.is_scalar() {
+                    r.shape
+                } else {
+                    l.shape
+                };
                 (fold_const(op, l, r, Ty::new(class, shape)), false)
             } else {
                 (

@@ -172,12 +172,12 @@ pub fn emit_affine(
     let mut const_acc = affine.const_part;
 
     let push_term = |func: &mut MirFunction,
-                         out: &mut Vec<Stmt>,
-                         acc: &mut Option<Operand>,
-                         term: Operand,
-                         sign: f64| {
+                     out: &mut Vec<Stmt>,
+                     acc: &mut Option<Operand>,
+                     term: Operand,
+                     sign: f64| {
         match (*acc, term, sign) {
-            (None, t, s) if s == 1.0 => *acc = Some(t),
+            (None, t, 1.0) => *acc = Some(t),
             (None, t, _) => {
                 let tmp = func.add_temp(Ty::double_scalar());
                 out.push(Stmt::Def {
@@ -384,7 +384,13 @@ mod tests {
         };
         let mut out = Vec::new();
         // n - i + 1 at i = 1 → n - 1 + 1 → n: folds to the bare variable.
-        let v = emit_affine(&mut f, &mut out, &affine, Operand::Const(1.0), Span::dummy());
+        let v = emit_affine(
+            &mut f,
+            &mut out,
+            &affine,
+            Operand::Const(1.0),
+            Span::dummy(),
+        );
         assert_eq!(v, Operand::Var(n));
         assert!(out.is_empty(), "no statements needed: {out:?}");
         let _ = i;

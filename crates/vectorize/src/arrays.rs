@@ -6,8 +6,8 @@
 use matic_frontend::ast::{BinOp, UnOp};
 use matic_frontend::span::Span;
 use matic_mir::{
-    Index, MirFunction, Operand, ReduceKind, Rvalue, Stmt, VarId, VecKind, VecRef, VectorOp,
-    AllocKind,
+    AllocKind, Index, MirFunction, Operand, ReduceKind, Rvalue, Stmt, VarId, VecKind, VecRef,
+    VectorOp,
 };
 use matic_sema::{Class, Ty};
 
@@ -70,9 +70,7 @@ fn process(func: &mut MirFunction, stmts: &mut Vec<Stmt>, report: &mut ArrayRepo
                 value,
                 span,
             } => {
-                if let Some(repl) =
-                    rewrite_store(func, *array, indices, *value, *span, report)
-                {
+                if let Some(repl) = rewrite_store(func, *array, indices, *value, *span, report) {
                     out.extend(repl);
                 } else {
                     out.push(stmt);
@@ -97,12 +95,7 @@ fn scalar_like(ty: Ty) -> bool {
 }
 
 /// Emits `numel(v)` (folding when static) as the lane count.
-fn emit_numel(
-    func: &mut MirFunction,
-    out: &mut Vec<Stmt>,
-    v: VarId,
-    span: Span,
-) -> Operand {
+fn emit_numel(func: &mut MirFunction, out: &mut Vec<Stmt>, v: VarId, span: Span) -> Operand {
     if let Some(n) = func.var_ty(v).shape.numel() {
         return Operand::Const(n as f64);
     }
@@ -132,8 +125,8 @@ fn emit_alloc_like(
     let len = emit_numel(func, out, like, span);
     let (rows, cols) = match (shape.rows.known(), shape.cols.known()) {
         (Some(r), Some(c)) => (Operand::Const(r as f64), Operand::Const(c as f64)),
-        (Some(r), None) if r == 1 => (Operand::Const(1.0), len),
-        (None, Some(c)) if c == 1 => (len, Operand::Const(1.0)),
+        (Some(1), None) => (Operand::Const(1.0), len),
+        (None, Some(1)) => (len, Operand::Const(1.0)),
         _ => {
             let r = func.add_temp(Ty::double_scalar());
             out.push(Stmt::Def {
@@ -169,13 +162,7 @@ fn emit_alloc_like(
 }
 
 /// Emits `if numel(a) ~= numel(b) then error(...)`.
-fn emit_dim_guard(
-    func: &mut MirFunction,
-    out: &mut Vec<Stmt>,
-    a: VarId,
-    b: VarId,
-    span: Span,
-) {
+fn emit_dim_guard(func: &mut MirFunction, out: &mut Vec<Stmt>, a: VarId, b: VarId, span: Span) {
     let na = func.add_temp(Ty::double_scalar());
     out.push(Stmt::Def {
         dst: na,
@@ -204,7 +191,10 @@ fn emit_dim_guard(
         },
         span,
     });
-    let msg = func.add_temp(Ty::new(Class::Char, matic_sema::Shape::row(matic_sema::Dim::Unknown)));
+    let msg = func.add_temp(Ty::new(
+        Class::Char,
+        matic_sema::Shape::row(matic_sema::Dim::Unknown),
+    ));
     out.push(Stmt::If {
         cond: Operand::Var(ne),
         then_body: vec![
@@ -270,8 +260,12 @@ fn rewrite_def(
             if dense_array(dst_ty)
                 && matches!(
                     op,
-                    BinOp::Add | BinOp::Sub | BinOp::ElemMul | BinOp::ElemDiv
-                        | BinOp::MatMul | BinOp::MatDiv
+                    BinOp::Add
+                        | BinOp::Sub
+                        | BinOp::ElemMul
+                        | BinOp::ElemDiv
+                        | BinOp::MatMul
+                        | BinOp::MatDiv
                 ) =>
         {
             // In-place updates (`x = x .* y`) must not be rewritten: the
@@ -351,9 +345,7 @@ fn rewrite_def(
         }
         // y = abs/conj/sqrt/...(a) on a dense array.
         Rvalue::Builtin { name, args }
-            if args.len() == 1
-                && LANE_BUILTINS.contains(&name.as_str())
-                && dense_array(dst_ty) =>
+            if args.len() == 1 && LANE_BUILTINS.contains(&name.as_str()) && dense_array(dst_ty) =>
         {
             let like = args[0].as_var()?;
             if !dense_array(func.var_ty(like)) {
@@ -502,8 +494,7 @@ fn rewrite_store(
         // Scalar fan-out (`x(1:n) = 0`).
         other => VecRef::Splat(other),
     };
-    let complex =
-        func.var_ty(array).class == Class::Complex || is_complex_op(func, value);
+    let complex = func.var_ty(array).class == Class::Complex || is_complex_op(func, value);
     out.push(Stmt::VectorOp(VectorOp {
         kind: VecKind::Copy,
         dst: VecRef::Slice { array, start, step },
@@ -547,10 +538,7 @@ fn slice_spec(
             },
         )),
         [Index::Full] => {
-            let len = aty
-                .shape
-                .numel()
-                .map(|n| Operand::Const(n as f64))?;
+            let len = aty.shape.numel().map(|n| Operand::Const(n as f64))?;
             Some((Operand::Const(1.0), Operand::Const(1.0), LenSpec::Op(len)))
         }
         // Row view a(r, :): linear start r, stride = nrows.
@@ -654,7 +642,11 @@ mod tests {
         let (p, diags) = parse(src);
         assert!(!diags.has_errors());
         let analysis = analyze(&p, entry, args);
-        assert!(!analysis.diags.has_errors(), "{:?}", analysis.diags.clone().into_vec());
+        assert!(
+            !analysis.diags.has_errors(),
+            "{:?}",
+            analysis.diags.clone().into_vec()
+        );
         let (mut mir, diags) = matic_mir::lower_program(&p, &analysis);
         assert!(!diags.has_errors());
         matic_mir::optimize_program(&mut mir);
@@ -713,11 +705,7 @@ mod tests {
 
     #[test]
     fn sum_becomes_reduction() {
-        let (f, report) = run(
-            "function s = f(v)\ns = sum(v);\nend",
-            "f",
-            &[vec_ty(100)],
-        );
+        let (f, report) = run("function s = f(v)\ns = sum(v);\nend", "f", &[vec_ty(100)]);
         assert_eq!(report.reductions, 1);
         let ops = vecops(&f);
         assert!(matches!(ops[0].kind, VecKind::Reduce(ReduceKind::Sum)));
@@ -746,11 +734,7 @@ mod tests {
     #[test]
     fn complex_dot_stays_scalar() {
         let c = Ty::new(Class::Complex, Shape::row(Dim::Known(64)));
-        let (_, report) = run(
-            "function s = f(a, b)\ns = dot(a, b);\nend",
-            "f",
-            &[c, c],
-        );
+        let (_, report) = run("function s = f(a, b)\ns = dot(a, b);\nend", "f", &[c, c]);
         assert_eq!(report.reductions, 0, "complex dot conjugates — scalar path");
     }
 

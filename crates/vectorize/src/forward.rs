@@ -18,9 +18,7 @@
 //! a single `y[s] <- vmap y[s], v` — which is what a human DSP programmer
 //! would write against the intrinsics.
 
-use matic_mir::{
-    walk_stmts, MirFunction, Operand, Rvalue, Stmt, VarId, VecKind, VecRef,
-};
+use matic_mir::{walk_stmts, MirFunction, Operand, Rvalue, Stmt, VarId, VecKind, VecRef};
 use std::collections::{HashMap, HashSet};
 
 /// Statistics from the forwarding pass.
@@ -74,17 +72,15 @@ fn written_arrays(stmt: &Stmt, out: &mut HashSet<VarId>) {
             out.insert(*array);
         }
         Stmt::CallMulti { dsts, .. } => out.extend(dsts.iter().flatten().copied()),
-        Stmt::VectorOp(v) => {
-            match &v.dst {
-                VecRef::Slice { array, .. } => {
-                    out.insert(*array);
-                }
-                VecRef::Splat(Operand::Var(a)) => {
-                    out.insert(*a);
-                }
-                _ => {}
+        Stmt::VectorOp(v) => match &v.dst {
+            VecRef::Slice { array, .. } => {
+                out.insert(*array);
             }
-        }
+            VecRef::Splat(Operand::Var(a)) => {
+                out.insert(*a);
+            }
+            _ => {}
+        },
         _ => {}
     }
 }
@@ -111,15 +107,18 @@ fn vecref_arrays(r: &VecRef, out: &mut HashSet<VarId>) {
 /// Whether two constant slices of the same array cannot overlap for the
 /// given constant length.
 fn slices_provably_disjoint(a: &VecRef, b: &VecRef, len: Operand) -> bool {
-    let (VecRef::Slice {
-        start: sa,
-        step: ta,
-        ..
-    }, VecRef::Slice {
-        start: sb,
-        step: tb,
-        ..
-    }) = (a, b)
+    let (
+        VecRef::Slice {
+            start: sa,
+            step: ta,
+            ..
+        },
+        VecRef::Slice {
+            start: sb,
+            step: tb,
+            ..
+        },
+    ) = (a, b)
     else {
         return false;
     };
@@ -343,8 +342,7 @@ fn process(
         while j < stmts.len() {
             match &stmts[j] {
                 Stmt::VectorOp(copy)
-                    if matches!(copy.kind, VecKind::Copy)
-                        && is_unit_slice_of(&copy.a, t) =>
+                    if matches!(copy.kind, VecKind::Copy) && is_unit_slice_of(&copy.a, t) =>
                 {
                     // Aliasing: the producer must not read the final
                     // destination except through the identical slice or a
@@ -369,9 +367,7 @@ fn process(
                         }
                         slices_provably_disjoint(input, &copy_ref.dst, copy_ref.len)
                     };
-                    if !(safe(&producer_ref.a)
-                        && producer_ref.b.as_ref().map_or(true, |b| safe(b)))
-                    {
+                    if !(safe(&producer_ref.a) && producer_ref.b.as_ref().is_none_or(safe)) {
                         break;
                     }
                     let new_dst = copy_ref.dst.clone();

@@ -88,10 +88,8 @@ fn process(stmts: &mut Vec<Stmt>, uses: &HashMap<VarId, u32>, report: &mut FuseR
                 },
                 Stmt::VectorOp(red),
             ) => {
-                let is_mul_map = matches!(
-                    map.kind,
-                    VecKind::Map(matic_frontend::ast::BinOp::ElemMul)
-                );
+                let is_mul_map =
+                    matches!(map.kind, VecKind::Map(matic_frontend::ast::BinOp::ElemMul));
                 let map_writes_t = matches!(
                     &map.dst,
                     VecRef::Slice { array, .. } if array == t_alloc
@@ -216,11 +214,7 @@ mod tests {
     #[test]
     fn complex_product_fuses_with_complex_flag() {
         let c = Ty::new(Class::Complex, Shape::row(Dim::Known(32)));
-        let (f, report) = pipeline(
-            "function s = f(a, b)\ns = sum(a .* b);\nend",
-            "f",
-            &[c, c],
-        );
+        let (f, report) = pipeline("function s = f(a, b)\ns = sum(a .* b);\nend", "f", &[c, c]);
         assert_eq!(report.macs_fused, 1);
         let mut complex = false;
         walk_stmts(&f.body, &mut |s| {
@@ -235,11 +229,7 @@ mod tests {
 
     #[test]
     fn plain_sum_not_affected() {
-        let (f, report) = pipeline(
-            "function s = f(a)\ns = sum(a);\nend",
-            "f",
-            &[vec_ty(16)],
-        );
+        let (f, report) = pipeline("function s = f(a)\ns = sum(a);\nend", "f", &[vec_ty(16)]);
         assert_eq!(report.macs_fused, 0);
         let mut reduces = 0;
         walk_stmts(&f.body, &mut |s| {

@@ -18,14 +18,16 @@ use crate::affine::{emit_affine, Affine, LoopEnv};
 use matic_frontend::ast::{BinOp, UnOp};
 use matic_frontend::span::Span;
 use matic_mir::{
-    walk_stmts, visit_stmt_operands, Index, MirFunction, Operand, ReduceKind, Rvalue, Stmt,
-    VarId, VecKind, VecRef, VectorOp,
+    visit_stmt_operands, walk_stmts, Index, MirFunction, Operand, ReduceKind, Rvalue, Stmt, VarId,
+    VecKind, VecRef, VectorOp,
 };
 use matic_sema::{Class, Ty};
 use std::collections::{HashMap, HashSet};
 
 /// One-argument builtins a vector lane unit can apply element-wise.
-pub const LANE_BUILTINS: &[&str] = &["abs", "conj", "sqrt", "real", "imag", "floor", "ceil", "round"];
+pub const LANE_BUILTINS: &[&str] = &[
+    "abs", "conj", "sqrt", "real", "imag", "floor", "ceil", "round",
+];
 
 /// Statistics from the loop-vectorization pass.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -43,9 +45,9 @@ pub struct LoopReport {
 /// Runs loop idiom recognition over `func`, replacing recognized loops.
 pub fn vectorize_loops(func: &mut MirFunction) -> LoopReport {
     let mut report = LoopReport::default();
-    let mut live_after: HashSet<VarId> = func.outputs.iter().copied().collect();
+    let live_after: HashSet<VarId> = func.outputs.iter().copied().collect();
     let mut body = std::mem::take(&mut func.body);
-    process_body(func, &mut body, &mut live_after, &mut report);
+    process_body(func, &mut body, &live_after, &mut report);
     func.body = body;
     report
 }
@@ -81,16 +83,9 @@ fn process_body(
                 // Recurse into the body first (vectorizes inner loops of
                 // nests; the outer loop then stays scalar around them).
                 process_body(func, body, after, report);
-                if let Some(replacement) = try_vectorize_loop(
-                    func,
-                    *var,
-                    *start,
-                    *step,
-                    *stop,
-                    body,
-                    after,
-                    report,
-                ) {
+                if let Some(replacement) =
+                    try_vectorize_loop(func, *var, *start, *step, *stop, body, after, report)
+                {
                     out.extend(replacement);
                     continue;
                 }
@@ -106,9 +101,7 @@ fn process_body(
                 out.push(stmt);
             }
             Stmt::While {
-                cond_defs: _,
-                body,
-                ..
+                cond_defs: _, body, ..
             } => {
                 // Conservatively treat everything as live after a while
                 // body (it re-executes).
@@ -207,12 +200,12 @@ fn try_vectorize_loop(
     };
 
     let lookup_sym = |syms: &[(VarId, Sym)], v: VarId| -> Option<Sym> {
-        syms.iter().rev().find(|(d, _)| *d == v).map(|(_, s)| s.clone())
+        syms.iter()
+            .rev()
+            .find(|(d, _)| *d == v)
+            .map(|(_, s)| s.clone())
     };
-    let as_leaf = |env: &LoopEnv,
-                   syms: &[(VarId, Sym)],
-                   op: Operand|
-     -> Option<Leaf> {
+    let as_leaf = |env: &LoopEnv, syms: &[(VarId, Sym)], op: Operand| -> Option<Leaf> {
         if env.is_invariant(op) {
             return Some(Leaf::Inv(op));
         }
@@ -290,9 +283,7 @@ fn try_vectorize_loop(
                         let la = as_leaf(&env, &syms, *a);
                         let lb = as_leaf(&env, &syms, *b);
                         match (la, lb) {
-                            (Some(x), Some(y)) if elementwise_ok(*op) => {
-                                Some(Sym::Bin(*op, x, y))
-                            }
+                            (Some(x), Some(y)) if elementwise_ok(*op) => Some(Sym::Bin(*op, x, y)),
                             _ => None,
                         }
                     }
@@ -313,7 +304,10 @@ fn try_vectorize_loop(
                     }
                     None => {
                         // Still allow pure index arithmetic (affine) defs.
-                        if env.affine_of(Operand::Var(*dst), &with(&defs, *dst, rv)).is_some() {
+                        if env
+                            .affine_of(Operand::Var(*dst), &with(&defs, *dst, rv))
+                            .is_some()
+                        {
                             defs.push((*dst, rv));
                         } else {
                             return give_up(report);
@@ -357,7 +351,7 @@ fn try_vectorize_loop(
             let sym = match value {
                 Operand::Var(v) => lookup_sym(&syms, v).or_else(|| {
                     env.is_invariant(value)
-                        .then(|| Sym::Leaf(Leaf::Inv(value)))
+                        .then_some(Sym::Leaf(Leaf::Inv(value)))
                 })?,
                 _ => Sym::Leaf(Leaf::Inv(value)),
             };
@@ -373,9 +367,7 @@ fn try_vectorize_loop(
                 }
             }
             let complex = is_complex(func, dst_arr)
-                || sym_leaves_owned(&sym)
-                    .iter()
-                    .any(|l| leaf_complex(func, l));
+                || sym_leaves_owned(&sym).iter().any(|l| leaf_complex(func, l));
             let dst_ref = slice_from(func, &mut prelude, dst_arr, &dst_affine, start, span);
             let (kind, a, b) = match sym {
                 Sym::Leaf(l) => (
@@ -416,9 +408,7 @@ fn try_vectorize_loop(
             let complex = is_complex_var(func, acc)
                 || sym_leaves_owned(&sym).iter().any(|l| leaf_complex(func, l));
             match sym {
-                Sym::Bin(op, la, lb)
-                    if matches!(op, BinOp::ElemMul | BinOp::MatMul) =>
-                {
+                Sym::Bin(BinOp::ElemMul | BinOp::MatMul, la, lb) => {
                     let a = leaf_ref(func, &mut prelude, &env, &la, start, span)?;
                     let b = leaf_ref(func, &mut prelude, &env, &lb, start, span)?;
                     report.macs += 1;
@@ -473,12 +463,7 @@ fn with<'a>(defs: &[(VarId, &'a Rvalue)], d: VarId, rv: &'a Rvalue) -> Vec<(VarI
 fn elementwise_ok(op: BinOp) -> bool {
     matches!(
         op,
-        BinOp::Add
-            | BinOp::Sub
-            | BinOp::ElemMul
-            | BinOp::ElemDiv
-            | BinOp::MatMul
-            | BinOp::MatDiv
+        BinOp::Add | BinOp::Sub | BinOp::ElemMul | BinOp::ElemDiv | BinOp::MatMul | BinOp::MatDiv
     )
 }
 

@@ -18,8 +18,12 @@ end
 
 fn cycles_on(spec: IsaSpec, src: &str) -> Result<u64, Box<dyn std::error::Error>> {
     let args = [arg::cx_vector(512), arg::cx_vector(512), arg::scalar()];
-    let compiled = Compiler::new().target(spec).compile(src, "mixdown", &args)?;
-    let x: Vec<(f64, f64)> = (0..512).map(|i| ((i as f64).sin(), (i as f64).cos())).collect();
+    let compiled = Compiler::new()
+        .target(spec)
+        .compile(src, "mixdown", &args)?;
+    let x: Vec<(f64, f64)> = (0..512)
+        .map(|i| ((i as f64).sin(), (i as f64).cos()))
+        .collect();
     let w: Vec<(f64, f64)> = (0..512).map(|i| ((i as f64 * 0.3).cos(), 0.1)).collect();
     let out = compiled.simulate(vec![
         SimVal::cx_row(&x),
@@ -74,15 +78,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // 4. Show that the custom prefix really lands in the generated C.
-    let compiled = Compiler::new()
-        .target(custom)
-        .compile(KERNEL, "mixdown", &[arg::cx_vector(512), arg::cx_vector(512), arg::scalar()])?;
+    let compiled = Compiler::new().target(custom).compile(
+        KERNEL,
+        "mixdown",
+        &[arg::cx_vector(512), arg::cx_vector(512), arg::scalar()],
+    )?;
     let line = compiled
         .c
         .source
         .lines()
         .find(|l| l.contains("__my_"))
         .unwrap_or("(no intrinsic line found)");
-    println!("\ngenerated C uses the custom intrinsic prefix:\n  {}", line.trim());
+    println!(
+        "\ngenerated C uses the custom intrinsic prefix:\n  {}",
+        line.trim()
+    );
     Ok(())
 }

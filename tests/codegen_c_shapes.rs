@@ -5,9 +5,7 @@
 use matic::{arg, Compiler, OptLevel};
 
 fn compile(src: &str, entry: &str, args: &[matic::Ty]) -> matic::Compiled {
-    Compiler::new()
-        .compile(src, entry, args)
-        .expect("compiles")
+    Compiler::new().compile(src, entry, args).expect("compiles")
 }
 
 #[test]
@@ -132,12 +130,7 @@ fn error_builtin_exits_nonzero() {
 
 #[test]
 fn matrix_literals_are_column_major() {
-    let m = compile(
-        "function y = f()\ny = [1 2 3; 4 5 6];\nend",
-        "f",
-        &[],
-    )
-    .c;
+    let m = compile("function y = f()\ny = [1 2 3; 4 5 6];\nend", "f", &[]).c;
     // Element (row 1, col 2) = 2 lands at linear index 2 (column-major).
     assert!(m.source.contains(".data[2] = 2.0;"), "{}", m.source);
     assert!(m.source.contains(".data[1] = 4.0;"), "{}", m.source);

@@ -11,17 +11,13 @@ use std::path::PathBuf;
 use std::process::Command;
 
 fn cc() -> Option<&'static str> {
-    for cand in ["cc", "gcc", "clang"] {
-        if Command::new(cand)
+    ["cc", "gcc", "clang"].into_iter().find(|cand| {
+        Command::new(cand)
             .arg("--version")
             .output()
             .map(|o| o.status.success())
             .unwrap_or(false)
-        {
-            return Some(cand);
-        }
-    }
-    None
+    })
 }
 
 fn test_size(id: &str) -> usize {
@@ -55,8 +51,8 @@ fn run_c_kernel(
         .main_source(entry, inputs, 1)
         .expect("harness generated");
     let dir = unique_dir(tag);
-    let c_path = matic_codegen::write_module(&dir, &compiled.c, Some(&main_src))
-        .expect("module written");
+    let c_path =
+        matic_codegen::write_module(&dir, &compiled.c, Some(&main_src)).expect("module written");
     let exe = dir.join("prog");
     let out = Command::new(compiler)
         .args(["-std=c99", "-O1", "-w", "-o"])
@@ -97,12 +93,7 @@ fn generated_c_matches_interpreter_for_every_benchmark() {
                 .opt_level(opt)
                 .compile(b.source, b.entry, &b.arg_types(n))
                 .unwrap_or_else(|e| panic!("{} [{label}]: {e}", b.id));
-            let outs = run_c_kernel(
-                &compiled,
-                &inputs,
-                &format!("{}_{label}", b.id),
-                compiler,
-            );
+            let outs = run_c_kernel(&compiled, &inputs, &format!("{}_{label}", b.id), compiler);
             assert_eq!(outs.len(), 1, "{} [{label}]: one output expected", b.id);
             outputs_close(&outs[0], expected, 1e-9)
                 .unwrap_or_else(|e| panic!("{} [{label}]: {e}", b.id));
@@ -139,7 +130,6 @@ fn generated_c_is_target_portable() {
             .compile(b.source, b.entry, &b.arg_types(n))
             .unwrap_or_else(|e| panic!("{name}: {e}"));
         let outs = run_c_kernel(&compiled, &inputs, &format!("retarget_{name}"), compiler);
-        outputs_close(&outs[0], expected, 1e-9)
-            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        outputs_close(&outs[0], expected, 1e-9).unwrap_or_else(|e| panic!("{name}: {e}"));
     }
 }

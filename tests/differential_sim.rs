@@ -20,8 +20,10 @@ fn all_benchmarks_compile_at_both_levels() {
     for b in SUITE {
         let n = test_size(b.id);
         let args = b.arg_types(n);
-        for (label, opt) in [("baseline", OptLevel::baseline()), ("full", OptLevel::full())]
-        {
+        for (label, opt) in [
+            ("baseline", OptLevel::baseline()),
+            ("full", OptLevel::full()),
+        ] {
             Compiler::new()
                 .opt_level(opt)
                 .compile(b.source, b.entry, &args)
@@ -45,8 +47,7 @@ fn simulated_outputs_match_interpreter_baseline() {
             .simulate(sim_inputs)
             .unwrap_or_else(|e| panic!("{} baseline sim: {e}", b.id));
         let got = sim_to_cvalue(&out.outputs[0]);
-        outputs_close(&got, expected, 1e-9)
-            .unwrap_or_else(|e| panic!("{} baseline: {e}", b.id));
+        outputs_close(&got, expected, 1e-9).unwrap_or_else(|e| panic!("{} baseline: {e}", b.id));
     }
 }
 
@@ -64,8 +65,7 @@ fn simulated_outputs_match_interpreter_optimized() {
             .simulate(sim_inputs)
             .unwrap_or_else(|e| panic!("{} optimized sim: {e}", b.id));
         let got = sim_to_cvalue(&out.outputs[0]);
-        outputs_close(&got, expected, 1e-9)
-            .unwrap_or_else(|e| panic!("{} optimized: {e}", b.id));
+        outputs_close(&got, expected, 1e-9).unwrap_or_else(|e| panic!("{} optimized: {e}", b.id));
     }
 }
 
@@ -107,7 +107,8 @@ fn optimization_never_hurts_and_wins_where_expected() {
 
 #[test]
 fn vectorizer_recognizes_the_expected_idioms() {
-    let expectations: &[(&str, fn(&matic::VectorizeReport) -> bool)] = &[
+    type ReportCheck = fn(&matic::VectorizeReport) -> bool;
+    let expectations: &[(&str, ReportCheck)] = &[
         ("fir", |r| r.loops.macs >= 1),
         ("cmult", |r| r.arrays.maps >= 1),
         ("xcorr", |r| r.loops.macs >= 1),

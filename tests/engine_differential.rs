@@ -1,0 +1,102 @@
+//! Differential test for the pre-decoded execution engine: for every
+//! benchmark × opt-level × target cell, the linear engine (`run`, via the
+//! decode stage) must produce a bit-identical [`matic_asip::SimOutcome`] —
+//! outputs, printed text, total cycles, instruction count, and the full
+//! per-class cycle breakdown — to the original tree-walking interpreter
+//! (`run_interpreted`). The decode stage is a pure representation change;
+//! any divergence is a bug.
+
+use matic::{Compiler, IsaSpec, OptLevel};
+use matic_asip::AsipMachine;
+use matic_benchkit::{to_sim, SUITE};
+use std::sync::Arc;
+
+/// Small-but-representative sizes so the whole suite runs quickly.
+fn test_size(id: &str) -> usize {
+    match id {
+        "matmul" => 8,
+        "fft" => 64,
+        _ => 128,
+    }
+}
+
+fn check_cell(spec_name: &str, spec: IsaSpec, label: &str, opt: OptLevel) {
+    for b in SUITE {
+        let n = test_size(b.id);
+        let compiled = Compiler::new()
+            .target(spec.clone())
+            .opt_level(opt)
+            .compile(b.source, b.entry, &b.arg_types(n))
+            .unwrap_or_else(|e| panic!("{} [{spec_name}/{label}]: compile failed: {e}", b.id));
+        let inputs: Vec<_> = b.inputs(n, 42).iter().map(to_sim).collect();
+
+        // Decoded engine, via the public reusable-simulator API.
+        let decoded = compiled
+            .simulator()
+            .run(inputs.clone())
+            .unwrap_or_else(|e| panic!("{} [{spec_name}/{label}]: decoded sim failed: {e}", b.id));
+
+        // Tree-walking engine on the same machine configuration.
+        let mut machine = AsipMachine::from_shared(Arc::clone(&compiled.spec));
+        if !opt.intrinsics {
+            machine = machine.without_intrinsics();
+        }
+        let interpreted = machine
+            .run_interpreted(&compiled.mir, &compiled.entry, inputs)
+            .unwrap_or_else(|e| {
+                panic!("{} [{spec_name}/{label}]: tree-walk sim failed: {e}", b.id)
+            });
+
+        assert_eq!(
+            decoded.cycles.total, interpreted.cycles.total,
+            "{} [{spec_name}/{label}]: total cycles diverge",
+            b.id
+        );
+        assert_eq!(
+            decoded.cycles.instructions, interpreted.cycles.instructions,
+            "{} [{spec_name}/{label}]: instruction counts diverge",
+            b.id
+        );
+        assert_eq!(
+            decoded.cycles.by_class, interpreted.cycles.by_class,
+            "{} [{spec_name}/{label}]: per-class cycle breakdown diverges",
+            b.id
+        );
+        // Outputs and printed text must be bit-identical, not just close.
+        assert_eq!(
+            decoded, interpreted,
+            "{} [{spec_name}/{label}]: outcomes diverge",
+            b.id
+        );
+    }
+}
+
+#[test]
+fn decoded_engine_matches_tree_walker_dsp16_baseline() {
+    check_cell("dsp16", IsaSpec::dsp16(), "baseline", OptLevel::baseline());
+}
+
+#[test]
+fn decoded_engine_matches_tree_walker_dsp16_full() {
+    check_cell("dsp16", IsaSpec::dsp16(), "full", OptLevel::full());
+}
+
+#[test]
+fn decoded_engine_matches_tree_walker_scalar_baseline_opt() {
+    check_cell(
+        "scalar",
+        IsaSpec::scalar_baseline(),
+        "baseline",
+        OptLevel::baseline(),
+    );
+}
+
+#[test]
+fn decoded_engine_matches_tree_walker_scalar_full() {
+    check_cell(
+        "scalar",
+        IsaSpec::scalar_baseline(),
+        "full",
+        OptLevel::full(),
+    );
+}

@@ -58,10 +58,9 @@ fn function_handles_are_rejected_for_compilation() {
         other => panic!("expected lower error, got {other}"),
     }
     // …but the same program runs fine on the interpreter.
-    let mut interp = matic::Interpreter::from_source(
-        "function y = f(x)\ng = @(t) t + 1;\ny = g(x);\nend",
-    )
-    .expect("parses");
+    let mut interp =
+        matic::Interpreter::from_source("function y = f(x)\ng = @(t) t + 1;\ny = g(x);\nend")
+            .expect("parses");
     let out = interp
         .call("f", vec![matic::Value::scalar(4.0)], 1)
         .expect("interpreter supports handles");
@@ -93,7 +92,10 @@ fn out_of_bounds_reads_are_trapped_by_the_simulator() {
         )
         .expect("compiles");
     let err = compiled
-        .simulate(vec![SimVal::row(&[1.0, 2.0, 3.0, 4.0]), SimVal::scalar(9.0)])
+        .simulate(vec![
+            SimVal::row(&[1.0, 2.0, 3.0, 4.0]),
+            SimVal::scalar(9.0),
+        ])
         .unwrap_err();
     assert!(err.message.contains("out of bounds"), "{err}");
 }
@@ -161,11 +163,7 @@ fn provable_shape_conflicts_warn_at_compile_time() {
     // Statically known mismatched shapes produce a sema warning (kept a
     // warning, not an error, because MATLAB semantics are runtime).
     let (program, _) = matic::parse("function y = f(a, b)\ny = a + b;\nend");
-    let analysis = matic_sema::analyze(
-        &program,
-        "f",
-        &[arg::vector(4), arg::vector(8)],
-    );
+    let analysis = matic_sema::analyze(&program, "f", &[arg::vector(4), arg::vector(8)]);
     assert!(analysis
         .diags
         .iter()

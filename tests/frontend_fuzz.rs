@@ -69,14 +69,14 @@ proptest! {
 #[test]
 fn interpreter_handles_adversarial_programs() {
     let cases = [
-        "x = [];\ny = x(1);",                    // index empty
-        "x = 1;\nx(0) = 2;",                     // zero index
-        "x = [1 2] * [3 4];",                    // inner dim mismatch
-        "x = 'abc' + 1;",                        // char arithmetic
-        "while 1\nend",                          // empty infinite loop (fuel)
-        "x = zeros(1e3, 1e3);\ny = x * x;",      // big but bounded
-        "f = @(x) f(x);\ny = f(1);",             // self-capturing handle
-        "x = 1 / 0;\ny = 0 / 0;\nz = x - x;",    // inf/nan arithmetic
+        "x = [];\ny = x(1);",                 // index empty
+        "x = 1;\nx(0) = 2;",                  // zero index
+        "x = [1 2] * [3 4];",                 // inner dim mismatch
+        "x = 'abc' + 1;",                     // char arithmetic
+        "while 1\nend",                       // empty infinite loop (fuel)
+        "x = zeros(1e3, 1e3);\ny = x * x;",   // big but bounded
+        "f = @(x) f(x);\ny = f(1);",          // self-capturing handle
+        "x = 1 / 0;\ny = 0 / 0;\nz = x - x;", // inf/nan arithmetic
     ];
     for src in cases {
         let Ok(mut interp) = matic::Interpreter::from_source(src) else {

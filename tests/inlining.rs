@@ -40,7 +40,9 @@ fn inlined_pipeline_matches_interpreter() {
         .as_real_scalar()
         .unwrap();
 
-    let compiled = Compiler::new().compile(SRC, "top", &args).expect("compiles");
+    let compiled = Compiler::new()
+        .compile(SRC, "top", &args)
+        .expect("compiles");
     let out = compiled
         .simulate(vec![
             SimVal::row(&a),
@@ -55,7 +57,9 @@ fn inlined_pipeline_matches_interpreter() {
 fn inlining_exposes_mac_across_call_boundary() {
     let n = 256;
     let args = [arg::vector(n), arg::vector(n), arg::scalar()];
-    let full = Compiler::new().compile(SRC, "top", &args).expect("compiles");
+    let full = Compiler::new()
+        .compile(SRC, "top", &args)
+        .expect("compiles");
     assert_eq!(
         full.report.loops.macs, 1,
         "after inlining the loop body is a recognizable MAC: {:?}",
@@ -74,11 +78,7 @@ fn inlining_exposes_mac_across_call_boundary() {
     // And the cycle counts show it.
     let a: Vec<f64> = (0..n).map(|i| (i as f64 * 0.1).sin()).collect();
     let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.2).cos()).collect();
-    let inputs = vec![
-        SimVal::row(&a),
-        SimVal::row(&b),
-        SimVal::scalar(n as f64),
-    ];
+    let inputs = vec![SimVal::row(&a), SimVal::row(&b), SimVal::scalar(n as f64)];
     let with = full.simulate(inputs.clone()).expect("sim").cycles.total;
     let without = no_inline.simulate(inputs).expect("sim").cycles.total;
     assert!(
@@ -90,7 +90,11 @@ fn inlining_exposes_mac_across_call_boundary() {
 #[test]
 fn generated_c_has_no_helper_call_after_inlining() {
     let compiled = Compiler::new()
-        .compile(SRC, "top", &[arg::vector(16), arg::vector(16), arg::scalar()])
+        .compile(
+            SRC,
+            "top",
+            &[arg::vector(16), arg::vector(16), arg::scalar()],
+        )
         .expect("compiles");
     // The helper is still emitted (it is a public function of the module)
     // but the entry must not call it.

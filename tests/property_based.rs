@@ -26,11 +26,7 @@ enum E {
 }
 
 fn expr_strategy() -> impl Strategy<Value = E> {
-    let leaf = prop_oneof![
-        Just(E::X),
-        Just(E::Y),
-        (-9i32..10).prop_map(E::K),
-    ];
+    let leaf = prop_oneof![Just(E::X), Just(E::Y), (-9i32..10).prop_map(E::K),];
     leaf.prop_recursive(4, 32, 3, |inner| {
         prop_oneof![
             (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Add(a.into(), b.into())),

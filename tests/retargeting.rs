@@ -88,10 +88,7 @@ fn wider_simd_never_costs_more_on_data_parallel_kernels() {
             .expect("simulates")
             .cycles
             .total;
-        assert!(
-            cycles <= prev,
-            "width {w} regressed: {cycles} > {prev}"
-        );
+        assert!(cycles <= prev, "width {w} regressed: {cycles} > {prev}");
         prev = cycles;
     }
 }

@@ -1,0 +1,229 @@
+//! Minimal, dependency-free stand-in for the `criterion` benchmark harness.
+//!
+//! The repro container builds with no network access, so the real criterion
+//! crate (and its dependency tree) is unavailable. This vendored subset keeps
+//! the same API shape used by the workspace benches — `benchmark_group`,
+//! `warm_up_time` / `measurement_time` / `sample_size`, `Bencher::iter`,
+//! `black_box` and the `criterion_group!`/`criterion_main!` macros — and does
+//! honest measurement: a timed warm-up to calibrate iterations per sample,
+//! then `sample_size` wall-clock samples whose min/median/mean are reported.
+//!
+//! Results are printed in a criterion-like format and appended as JSON lines
+//! to `target/criterion-mini.json` so scripts can scrape them.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-iteration timing harness handed to the closure of
+/// [`BenchmarkGroup::bench_function`].
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `iters` back-to-back invocations of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// One statistic line for a finished benchmark.
+#[derive(Debug, Clone)]
+pub struct Sampled {
+    pub id: String,
+    pub min_ns: f64,
+    pub median_ns: f64,
+    pub mean_ns: f64,
+    pub max_ns: f64,
+}
+
+/// Top-level harness state; create via `Criterion::default()`.
+#[derive(Default)]
+pub struct Criterion {
+    results: Vec<Sampled>,
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            warm_up: Duration::from_millis(500),
+            measurement: Duration::from_secs(1),
+            sample_size: 20,
+        }
+    }
+
+    /// Flush collected results as JSON lines under `target/`.
+    fn persist(&self) {
+        if self.results.is_empty() {
+            return;
+        }
+        let mut out = String::new();
+        for r in &self.results {
+            out.push_str(&format!(
+                "{{\"id\":\"{}\",\"min_ns\":{:.1},\"median_ns\":{:.1},\"mean_ns\":{:.1},\"max_ns\":{:.1}}}\n",
+                r.id, r.min_ns, r.median_ns, r.mean_ns, r.max_ns
+            ));
+        }
+        let _ = std::fs::create_dir_all("target");
+        let _ = std::fs::write("target/criterion-mini.json", out);
+    }
+}
+
+/// A named group of benchmarks sharing warm-up/measurement settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full_id = format!("{}/{}", self.name, id);
+
+        // Warm-up: run single iterations until the warm-up budget is spent,
+        // tracking the observed per-iteration time.
+        let warm_start = Instant::now();
+        let mut per_iter = Duration::from_nanos(0);
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up || warm_iters == 0 {
+            let mut b = Bencher {
+                iters: 1,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            per_iter += b.elapsed;
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = per_iter.as_secs_f64() / warm_iters as f64;
+
+        // Choose iterations per sample so the measurement budget is split
+        // across `sample_size` samples.
+        let sample_budget = self.measurement.as_secs_f64() / self.sample_size as f64;
+        let iters = ((sample_budget / per_iter.max(1e-9)).ceil() as u64).max(1);
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            samples_ns.push(b.elapsed.as_secs_f64() * 1e9 / iters as f64);
+        }
+        samples_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let min = samples_ns[0];
+        let max = *samples_ns.last().unwrap();
+        let median = samples_ns[samples_ns.len() / 2];
+        let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+
+        println!(
+            "{full_id:<40} time: [{} {} {}]  ({} samples x {} iters)",
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(max),
+            samples_ns.len(),
+            iters
+        );
+        self.criterion.results.push(Sampled {
+            id: full_id,
+            min_ns: min,
+            median_ns: median,
+            mean_ns: mean,
+            max_ns: max,
+        });
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+            c.persist_results();
+        }
+    };
+}
+
+impl Criterion {
+    /// Public hook used by `criterion_main!`.
+    pub fn persist_results(&self) {
+        self.persist();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("t");
+            g.warm_up_time(Duration::from_millis(5));
+            g.measurement_time(Duration::from_millis(20));
+            g.sample_size(5);
+            g.bench_function("sum", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+            g.finish();
+        }
+        assert_eq!(c.results.len(), 1);
+        assert!(c.results[0].median_ns > 0.0);
+    }
+}

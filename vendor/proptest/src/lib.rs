@@ -1,0 +1,515 @@
+//! Minimal, dependency-free stand-in for the `proptest` crate.
+//!
+//! The repro container builds offline, so the real proptest (and its large
+//! dependency tree) is unavailable. This vendored subset keeps the API shape
+//! the workspace tests use — `proptest!`, `prop_oneof!`, `Just`, ranges,
+//! tuples, `prop_map`, `prop_recursive`, `collection::vec`, string "regex"
+//! strategies, `prop_assert!`/`prop_assert_eq!` and `ProptestConfig` — with
+//! deterministic sample-based generation (seeded per test name + case index)
+//! and no shrinking: a failing case panics with its case number so it can be
+//! replayed.
+
+use std::rc::Rc;
+
+// ---------------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------------
+
+/// Deterministic xorshift64* generator; seeded from the test name and case
+/// index so failures are reproducible run-to-run.
+pub struct TestRng(u64);
+
+impl TestRng {
+    pub fn deterministic(name_hash: u64, case: u64) -> Self {
+        let seed = name_hash ^ case.wrapping_mul(0x9E3779B97F4A7C15) ^ 0xD1B54A32D192ED03;
+        TestRng(if seed == 0 { 0x9E3779B97F4A7C15 } else { seed })
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
+
+/// FNV-1a hash of a string, used to derive per-test seeds.
+pub fn fnv(s: &str) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------------
+// Strategy core
+// ---------------------------------------------------------------------------
+
+/// A value generator. Unlike real proptest there is no shrinking; `sample`
+/// simply draws one value.
+pub trait Strategy: Clone + 'static {
+    type Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized,
+        Self::Value: 'static,
+    {
+        BoxedStrategy(Rc::new(move |rng| self.sample(rng)))
+    }
+
+    fn prop_map<U: 'static, F>(self, f: F) -> BoxedStrategy<U>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U + 'static,
+    {
+        BoxedStrategy(Rc::new(move |rng| f(self.sample(rng))))
+    }
+
+    /// Build recursive values: `depth` levels of `f` stacked over the leaf
+    /// strategy, with each level able to fall back to the leaf so generated
+    /// structures vary in depth. `_size`/`_branch` are accepted for API
+    /// compatibility but unused.
+    fn prop_recursive<S, F>(
+        self,
+        depth: u32,
+        _size: u32,
+        _branch: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized,
+        Self::Value: 'static,
+        S: Strategy<Value = Self::Value>,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+    {
+        let leaf = self.boxed();
+        let mut cur = leaf.clone();
+        for _ in 0..depth {
+            let deeper = f(cur).boxed();
+            let l = leaf.clone();
+            cur = BoxedStrategy(Rc::new(move |rng: &mut TestRng| {
+                if rng.below(4) == 0 {
+                    l.sample(rng)
+                } else {
+                    deeper.sample(rng)
+                }
+            }));
+        }
+        cur
+    }
+}
+
+/// Type-erased strategy; cheap to clone.
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T: 'static> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Always produces a clone of the wrapped value.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + 'static> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between boxed alternatives (the `prop_oneof!` backend).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union {
+            arms: self.arms.clone(),
+        }
+    }
+}
+
+impl<T: 'static> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.arms.len() as u64) as usize;
+        self.arms[i].sample(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! { (A, B) (A, B, C) (A, B, C, D) }
+
+// ---------------------------------------------------------------------------
+// Collections
+// ---------------------------------------------------------------------------
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    pub struct VecStrategy<S> {
+        elem: S,
+        lo: usize,
+        hi: usize,
+    }
+
+    impl<S: Clone> Clone for VecStrategy<S> {
+        fn clone(&self) -> Self {
+            VecStrategy {
+                elem: self.elem.clone(),
+                lo: self.lo,
+                hi: self.hi,
+            }
+        }
+    }
+
+    /// `proptest::collection::vec(strategy, len_range)`.
+    pub fn vec<S: Strategy>(elem: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            lo: len.start,
+            hi: len.end.max(len.start + 1),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.lo + rng.below((self.hi - self.lo) as u64) as usize;
+            (0..n).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// String "regex" strategies
+// ---------------------------------------------------------------------------
+
+/// The subset of regex syntax the workspace tests use as string strategies:
+/// a single character class (`[...]` with ranges and `\n`/`\t`/`\\` escapes,
+/// or `\PC` for "any non-control char") followed by a `{min,max}` repeat.
+#[derive(Clone)]
+struct Pattern {
+    ranges: Vec<(u32, u32)>,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pat: &str) -> Pattern {
+    let chars: Vec<char> = pat.chars().collect();
+    let mut i: usize;
+    let mut ranges: Vec<(u32, u32)> = Vec::new();
+
+    if chars.first() == Some(&'[') {
+        i = 1;
+        let mut pending: Vec<char> = Vec::new();
+        while i < chars.len() && chars[i] != ']' {
+            let c = if chars[i] == '\\' {
+                i += 1;
+                match chars.get(i) {
+                    Some('n') => '\n',
+                    Some('t') => '\t',
+                    Some('r') => '\r',
+                    Some(&c) => c,
+                    None => panic!("bad escape in pattern {pat:?}"),
+                }
+            } else {
+                chars[i]
+            };
+            i += 1;
+            // `a-b` range (a `-` not followed by `]`)
+            if chars.get(i) == Some(&'-') && chars.get(i + 1) != Some(&']') {
+                let hi = chars[i + 1];
+                i += 2;
+                ranges.push((c as u32, hi as u32));
+            } else {
+                pending.push(c);
+            }
+        }
+        assert!(chars.get(i) == Some(&']'), "unterminated class in {pat:?}");
+        i += 1;
+        for c in pending {
+            ranges.push((c as u32, c as u32));
+        }
+    } else if pat.starts_with("\\PC") {
+        // Any non-control character: printable ASCII, Latin, general BMP
+        // letters/symbols. A practical sample of the \PC space.
+        ranges = vec![
+            (0x20, 0x7E),
+            (0xA0, 0x2FF),
+            (0x370, 0x1FFF),
+            (0x2100, 0x2BFF),
+        ];
+        i = 3;
+    } else {
+        panic!("unsupported string strategy pattern {pat:?}");
+    }
+
+    let rest: String = chars[i..].iter().collect();
+    let (min, max) = if rest.is_empty() {
+        (1, 1)
+    } else {
+        let inner = rest
+            .strip_prefix('{')
+            .and_then(|r| r.strip_suffix('}'))
+            .unwrap_or_else(|| panic!("unsupported repeat in {pat:?}"));
+        match inner.split_once(',') {
+            Some((a, b)) => (a.trim().parse().unwrap(), b.trim().parse().unwrap()),
+            None => {
+                let n = inner.trim().parse().unwrap();
+                (n, n)
+            }
+        }
+    };
+    Pattern { ranges, min, max }
+}
+
+impl Pattern {
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let len = self.min + rng.below((self.max - self.min + 1) as u64) as usize;
+        let total: u64 = self.ranges.iter().map(|(a, b)| (b - a + 1) as u64).sum();
+        let mut out = String::with_capacity(len);
+        let mut produced = 0;
+        while produced < len {
+            let mut k = rng.below(total);
+            for &(a, b) in &self.ranges {
+                let span = (b - a + 1) as u64;
+                if k < span {
+                    if let Some(c) = char::from_u32(a + k as u32) {
+                        out.push(c);
+                        produced += 1;
+                    }
+                    break;
+                }
+                k -= span;
+            }
+        }
+        out
+    }
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        parse_pattern(self).sample(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Config + errors
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Failure payload produced by `prop_assert!`-style macros.
+#[derive(Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    pub fn fail(msg: String) -> Self {
+        TestCaseError(msg)
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        match (&$a, &$b) {
+            (l, r) => {
+                $crate::prop_assert!(l == r, "assertion failed: {:?} != {:?}", l, r);
+            }
+        }
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        match (&$a, &$b) {
+            (l, r) => {
+                $crate::prop_assert!(l == r, $($fmt)+);
+            }
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg) $($rest)*);
+    };
+    (@impl ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let __seed = $crate::fnv(stringify!($name));
+            for __case in 0..__cfg.cases {
+                let mut __rng = $crate::TestRng::deterministic(__seed, __case as u64);
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)+
+                let __result: ::std::result::Result<(), $crate::TestCaseError> =
+                    (move || {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(e) = __result {
+                    panic!("proptest case #{} of {}: {}", __case, stringify!($name), e);
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_oneof, proptest, BoxedStrategy, Just, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::TestRng::deterministic(1, 2);
+        for _ in 0..1000 {
+            let v = Strategy::sample(&(-9i32..10), &mut rng);
+            assert!((-9..10).contains(&v));
+        }
+    }
+
+    #[test]
+    fn ascii_class_pattern_samples() {
+        let mut rng = crate::TestRng::deterministic(3, 4);
+        for _ in 0..200 {
+            let s = Strategy::sample(&"[ -~\n\t]{0,200}", &mut rng);
+            assert!(s.len() <= 200 * 4);
+            assert!(s
+                .chars()
+                .all(|c| c == '\n' || c == '\t' || (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn pc_pattern_excludes_controls() {
+        let mut rng = crate::TestRng::deterministic(5, 6);
+        for _ in 0..200 {
+            let s = Strategy::sample(&"\\PC{0,80}", &mut rng);
+            assert!(s.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_wires_up(x in 0i32..100, v in crate::collection::vec(prop_oneof![Just(1u8), Just(2u8)], 0..5)) {
+            prop_assert!(x >= 0);
+            prop_assert!(v.len() < 5);
+            prop_assert_eq!(x, x);
+        }
+    }
+}
