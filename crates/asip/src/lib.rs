@@ -47,4 +47,4 @@ pub mod sim;
 
 pub use decode::{decode_program, DecodedProgram};
 pub use report::CycleReport;
-pub use sim::{AsipMachine, SimError, SimOutcome, SimVal, Simulator};
+pub use sim::{AsipMachine, SimError, SimErrorKind, SimOutcome, SimVal, Simulator};

@@ -74,6 +74,10 @@ impl SimVal {
     }
 }
 
+/// Coarse classification of a simulation failure (shared with the
+/// reference interpreter so differential checks can compare outcomes).
+pub use matic_interp::ErrorKind as SimErrorKind;
+
 /// A simulation failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SimError {
@@ -81,14 +85,34 @@ pub struct SimError {
     pub message: String,
     /// Source location of the failing operation.
     pub span: Span,
+    /// Coarse failure class (fuel, bounds, other trap).
+    pub kind: SimErrorKind,
 }
 
 impl SimError {
     fn new(message: impl Into<String>, span: Span) -> SimError {
+        let message = message.into();
+        let kind = matic_interp::classify_message(&message);
         SimError {
-            message: message.into(),
+            message,
             span,
+            kind,
         }
+    }
+
+    /// The fuel-exhaustion error raised when the statement budget runs
+    /// out.
+    pub fn fuel_exhausted(span: Span) -> SimError {
+        SimError {
+            message: "simulation fuel exhausted".to_string(),
+            span,
+            kind: SimErrorKind::FuelExhausted,
+        }
+    }
+
+    /// Whether this failure is the fuel budget running out.
+    pub fn is_fuel_exhausted(&self) -> bool {
+        self.kind == SimErrorKind::FuelExhausted
     }
 }
 
@@ -292,6 +316,13 @@ impl Simulator<'_> {
     pub fn machine(&self) -> &AsipMachine {
         &self.machine
     }
+
+    /// Caps the statement budget per [`Simulator::run`] (see
+    /// [`AsipMachine::with_fuel`]).
+    pub fn with_fuel(mut self, fuel: u64) -> Self {
+        self.machine.fuel = fuel;
+        self
+    }
 }
 
 enum Flow {
@@ -378,7 +409,7 @@ impl<'a> Exec<'a> {
 
     fn burn(&mut self, span: Span) -> Result<(), SimError> {
         if self.fuel == 0 {
-            return Err(SimError::new("simulation fuel exhausted", span));
+            return Err(SimError::fuel_exhausted(span));
         }
         self.fuel -= 1;
         Ok(())

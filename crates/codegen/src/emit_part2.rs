@@ -48,7 +48,7 @@ impl<'a> FnEmitter<'a> {
             }
             // Gather: x(idx) with a vector of indices.
             [Index::Scalar(op)] if !self.op_repr(*op)?.is_scalar() => {
-                let iv = op.as_var().expect("gather index var");
+                let iv = self.array_var(*op, span)?;
                 let ivn = c_name(self.f, iv);
                 let alloc = if drepr.is_cx() {
                     "matic_carr_alloc"
@@ -261,7 +261,7 @@ impl<'a> FnEmitter<'a> {
             }
             // Gather store: x(idx) = v with idx a vector.
             [Index::Scalar(op)] => {
-                let iv = op.as_var().expect("gather index var");
+                let iv = self.array_var(*op, span)?;
                 let ivn = c_name(self.f, iv);
                 let i = self.fresh("i");
                 let v = if self.op_repr(value)?.is_scalar() {
@@ -868,7 +868,7 @@ impl<'a> FnEmitter<'a> {
                 Repr::RealScalar => parts.push(self.scalar(*a, false, span)?),
                 Repr::CxScalar => parts.push(self.scalar(*a, true, span)?),
                 Repr::RealArr | Repr::CxArr => {
-                    let v = a.as_var().expect("array operand");
+                    let v = self.array_var(*a, span)?;
                     parts.push(format!("&{}", c_name(self.f, v)));
                 }
             }
@@ -981,7 +981,7 @@ impl<'a> FnEmitter<'a> {
                                 self.line(&format!("printf(\"%g\\n\", {e});"));
                             }
                         } else {
-                            let v = op.as_var().expect("array operand");
+                            let v = self.array_var(*op, span)?;
                             let vn = c_name(self.f, v);
                             let i = self.fresh("i");
                             if r.is_cx() {

@@ -122,15 +122,26 @@ static int matic_call(const matic_carr *a) {
     return 1;
 }
 
-#ifdef MATIC_BOUNDS_CHECK
-static int matic_chk(int idx0, int n, const char *what) {
+/* Bounds trap: mirrors the interpreter's and simulator's "index out of
+ * bounds" error so all three backends agree on erroring programs. */
+static int matic_idx_check(int idx0, int n, const char *what) {
     if (idx0 < 0 || idx0 >= n) {
         fprintf(stderr, "matic: index out of bounds in %s (%d of %d)\n", what, idx0 + 1, n);
         exit(2);
     }
     return idx0;
 }
-#define MATIC_IDX(i0, n, what) matic_chk((i0), (n), (what))
+
+/* Broadcast element access inside element-wise loops: a 1x1 descriptor
+ * broadcasts to every lane; anything else must be in range (never masked
+ * by wrapping, which would silently return the wrong element). */
+static int matic_bcast(int idx0, int n, const char *what) {
+    if (n == 1) return 0;
+    return matic_idx_check(idx0, n, what);
+}
+
+#ifdef MATIC_BOUNDS_CHECK
+#define MATIC_IDX(i0, n, what) matic_idx_check((i0), (n), (what))
 #else
 #define MATIC_IDX(i0, n, what) (i0)
 #endif

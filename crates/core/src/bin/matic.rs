@@ -48,9 +48,11 @@ fn run(args: &[String]) -> Result<(), String> {
 const USAGE: &str = "usage:
   matic compile <file.m> --entry <fn> --sig <spec> [--target <json>] [--baseline] [-o <dir>]
   matic mir     <file.m> --entry <fn> --sig <spec> [--target <json>]
-  matic cycles  <file.m> --entry <fn> --sig <spec> [--target <json>] [--seed <k>]
+  matic cycles  <file.m> --entry <fn> --sig <spec> [--target <json>] [--seed <k>] [--max-cycles <N>]
   matic targets [--dump <name>]
-sig spec: s | cs | v<N> | cv<N> | m<R>x<C>, comma-separated (e.g. v1024,v64)";
+sig spec: s | cs | v<N> | cv<N> | m<R>x<C>, comma-separated (e.g. v1024,v64)
+--max-cycles caps the simulated step budget (default 100000000); runaway
+programs stop with a fuel-exhaustion diagnostic instead of hanging";
 
 /// Parsed common options.
 struct Opts {
@@ -61,7 +63,12 @@ struct Opts {
     baseline: bool,
     out_dir: String,
     seed: u64,
+    max_cycles: u64,
 }
+
+/// Default simulation step budget for the CLI: large enough for any real
+/// kernel, small enough that a `while 1` program errors out in seconds.
+const DEFAULT_MAX_CYCLES: u64 = 100_000_000;
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut file = None;
@@ -71,6 +78,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut baseline = false;
     let mut out_dir = "matic_out".to_string();
     let mut seed = 1u64;
+    let mut max_cycles = DEFAULT_MAX_CYCLES;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -90,6 +98,14 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                     .parse()
                     .map_err(|_| "--seed expects an integer".to_string())?
             }
+            "--max-cycles" => {
+                max_cycles = next(&mut it, "--max-cycles")?
+                    .parse()
+                    .map_err(|_| "--max-cycles expects a positive integer".to_string())?;
+                if max_cycles == 0 {
+                    return Err("--max-cycles expects a positive integer".to_string());
+                }
+            }
             other if !other.starts_with('-') && file.is_none() => file = Some(other.to_string()),
             other => return Err(format!("unexpected argument `{other}`")),
         }
@@ -102,6 +118,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         baseline,
         out_dir,
         seed,
+        max_cycles,
     })
 }
 
@@ -200,9 +217,15 @@ fn cmd_cycles(args: &[String]) -> Result<(), String> {
         .map(|(k, t)| synth_input(t, opts.seed.wrapping_add(k as u64)))
         .collect();
     let rb = baseline
-        .simulate(inputs.clone())
+        .simulator()
+        .with_fuel(opts.max_cycles)
+        .run(inputs.clone())
         .map_err(|e| e.to_string())?;
-    let ro = optimized.simulate(inputs).map_err(|e| e.to_string())?;
+    let ro = optimized
+        .simulator()
+        .with_fuel(opts.max_cycles)
+        .run(inputs)
+        .map_err(|e| e.to_string())?;
     println!("target    : {}", optimized.spec);
     println!("baseline  : {:>10} cycles", rb.cycles.total);
     println!("optimized : {:>10} cycles", ro.cycles.total);
@@ -224,6 +247,7 @@ fn clone_opts(o: &Opts) -> Opts {
         baseline: o.baseline,
         out_dir: o.out_dir.clone(),
         seed: o.seed,
+        max_cycles: o.max_cycles,
     }
 }
 

@@ -38,7 +38,7 @@
 
 pub mod pipeline;
 
-pub use matic_asip::{AsipMachine, CycleReport, SimOutcome, SimVal};
+pub use matic_asip::{AsipMachine, CycleReport, SimError, SimErrorKind, SimOutcome, SimVal};
 pub use matic_codegen::{CModule, CValue, CodegenOptions, Harness};
 pub use matic_frontend::{parse, Program};
 pub use matic_interp::{Cx, Interpreter, Matrix, RuntimeError, Value};

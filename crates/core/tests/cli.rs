@@ -1,0 +1,163 @@
+//! CLI-level regression tests for the failure-mode contract: malformed
+//! or runaway input must exit nonzero with a single-line
+//! `matic: <stage>: <message> at <span>` diagnostic on stderr — never a
+//! panic, never a hang.
+//!
+//! These drive the actual `matic` binary (via `CARGO_BIN_EXE_matic`) so
+//! the exact user-visible text and exit codes are pinned.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_matic")
+}
+
+/// Writes `src` to a unique temp file and returns its path.
+fn source_file(tag: &str, src: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("matic_cli_{}_{tag}", std::process::id(),));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("prog.m");
+    std::fs::write(&path, src).expect("write source");
+    path
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(bin()).args(args).output().expect("matic runs")
+}
+
+fn stderr_line(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr)
+        .lines()
+        .next()
+        .unwrap_or_default()
+        .to_string()
+}
+
+#[test]
+fn parse_error_is_diagnosed_not_panicked() {
+    let file = source_file("parse", "function y = f(x)\ny = x +;\nend\n");
+    let out = run(&[
+        "compile",
+        file.to_str().unwrap(),
+        "--entry",
+        "f",
+        "--sig",
+        "v8",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    assert_eq!(
+        stderr_line(&out),
+        "matic: parse: error: expected expression, found `;` at 25..26"
+    );
+}
+
+#[test]
+fn signature_arity_mismatch_is_a_sema_error() {
+    let file = source_file("arity", "function y = f(x, h)\ny = x + h;\nend\n");
+    let out = run(&[
+        "cycles",
+        file.to_str().unwrap(),
+        "--entry",
+        "f",
+        "--sig",
+        "v8",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    assert_eq!(
+        stderr_line(&out),
+        "matic: sema: error: entry `f` expects 2 arguments, signature provides 1 at 0..21"
+    );
+}
+
+#[test]
+fn out_of_bounds_read_is_diagnosed_at_simulation_time() {
+    let file = source_file(
+        "oob",
+        "function y = f(x)\nk = numel(x) + 1;\ny = x(k) * x;\nend\n",
+    );
+    let out = run(&[
+        "cycles",
+        file.to_str().unwrap(),
+        "--entry",
+        "f",
+        "--sig",
+        "v4",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    assert_eq!(
+        stderr_line(&out),
+        "matic: asip sim: index 5 out of bounds (4) at 40..44"
+    );
+}
+
+#[test]
+fn runaway_program_exhausts_fuel_instead_of_hanging() {
+    let file = source_file(
+        "spin",
+        "function y = f(x)\ny = 0;\nwhile 1\ny = y + 1;\nend\nend\n",
+    );
+    let out = run(&[
+        "cycles",
+        file.to_str().unwrap(),
+        "--entry",
+        "f",
+        "--sig",
+        "s",
+        "--max-cycles",
+        "20000",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let line = stderr_line(&out);
+    assert!(
+        line.starts_with("matic: asip sim: simulation fuel exhausted at "),
+        "unexpected diagnostic: {line}"
+    );
+}
+
+#[test]
+fn zero_max_cycles_is_rejected() {
+    let file = source_file("zero", "function y = f(x)\ny = x;\nend\n");
+    let out = run(&[
+        "cycles",
+        file.to_str().unwrap(),
+        "--entry",
+        "f",
+        "--sig",
+        "s",
+        "--max-cycles",
+        "0",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    assert_eq!(
+        stderr_line(&out),
+        "matic: --max-cycles expects a positive integer"
+    );
+}
+
+#[test]
+fn help_documents_max_cycles() {
+    let out = run(&["help"]);
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(
+        text.contains("--max-cycles"),
+        "usage must document the flag"
+    );
+}
+
+#[test]
+fn well_formed_program_still_succeeds() {
+    let file = source_file("ok", "function y = f(a, b)\ny = sum(a .* b);\nend\n");
+    let out = run(&[
+        "cycles",
+        file.to_str().unwrap(),
+        "--entry",
+        "f",
+        "--sig",
+        "v64,v64",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr_line(&out));
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(text.contains("speedup"));
+}

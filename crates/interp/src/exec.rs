@@ -10,6 +10,34 @@ use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
 
+/// Coarse classification of a runtime failure, shared by the interpreter
+/// and the ASIP simulator so differential harnesses can require the two
+/// to agree on *why* a program failed, not just that it did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorKind {
+    /// The execution step budget ran out (runaway or non-terminating
+    /// program stopped by fuel, never by hanging).
+    FuelExhausted,
+    /// An array subscript outside the valid extent (or not a positive
+    /// integer index).
+    OutOfBounds,
+    /// Any other runtime trap: dimension mismatch, `error()` builtin,
+    /// unsupported construct, arity mismatch, ...
+    Trap,
+}
+
+/// Classifies an error message produced by the shared matrix/indexing
+/// helpers (which report through plain `String`s).
+pub fn classify_message(message: &str) -> ErrorKind {
+    if message.contains("fuel exhausted") {
+        ErrorKind::FuelExhausted
+    } else if message.contains("out of bounds") || message.contains("index must be") {
+        ErrorKind::OutOfBounds
+    } else {
+        ErrorKind::Trap
+    }
+}
+
 /// A runtime error with the source span it occurred at.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RuntimeError {
@@ -17,14 +45,33 @@ pub struct RuntimeError {
     pub message: String,
     /// Where it went wrong.
     pub span: Span,
+    /// Coarse failure class (fuel, bounds, other trap).
+    pub kind: ErrorKind,
 }
 
 impl RuntimeError {
     fn new(message: impl Into<String>, span: Span) -> Self {
+        let message = message.into();
+        let kind = classify_message(&message);
         RuntimeError {
-            message: message.into(),
+            message,
             span,
+            kind,
         }
+    }
+
+    /// The fuel-exhaustion error raised when the step budget runs out.
+    pub fn fuel_exhausted(span: Span) -> Self {
+        RuntimeError {
+            message: "execution fuel exhausted".to_string(),
+            span,
+            kind: ErrorKind::FuelExhausted,
+        }
+    }
+
+    /// Whether this failure is the fuel budget running out.
+    pub fn is_fuel_exhausted(&self) -> bool {
+        self.kind == ErrorKind::FuelExhausted
     }
 }
 
@@ -293,7 +340,7 @@ impl Interpreter {
 
     fn burn(&mut self, span: Span) -> Result<(), RuntimeError> {
         if self.fuel == 0 {
-            return Err(RuntimeError::new("execution fuel exhausted", span));
+            return Err(RuntimeError::fuel_exhausted(span));
         }
         self.fuel -= 1;
         Ok(())
@@ -845,9 +892,9 @@ impl Interpreter {
             if all_str {
                 let s: String = vals
                     .into_iter()
-                    .map(|v| match v {
-                        Value::Str(s) => s,
-                        _ => unreachable!(),
+                    .filter_map(|v| match v {
+                        Value::Str(s) => Some(s),
+                        _ => None,
                     })
                     .collect();
                 return Ok(Value::Str(s));
@@ -955,6 +1002,43 @@ mod tests {
     fn arithmetic_script() {
         let i = run("x = 2 + 3 * 4;");
         assert_eq!(var_f64(&i, "x"), 14.0);
+    }
+
+    #[test]
+    fn classifies_error_messages_into_kinds() {
+        assert_eq!(
+            classify_message("execution fuel exhausted"),
+            ErrorKind::FuelExhausted
+        );
+        assert_eq!(
+            classify_message("index 9 out of bounds (extent 4)"),
+            ErrorKind::OutOfBounds
+        );
+        assert_eq!(
+            classify_message("index must be a positive integer, got 0.5"),
+            ErrorKind::OutOfBounds
+        );
+        assert_eq!(
+            classify_message("undefined function or variable `q`"),
+            ErrorKind::Trap
+        );
+    }
+
+    #[test]
+    fn fuel_exhaustion_carries_structured_kind() {
+        let mut i = Interpreter::from_source("x = 0;\nwhile 1\nx = x + 1;\nend").expect("parse ok");
+        i.set_fuel(10_000);
+        let err = i.run_script().expect_err("must exhaust fuel");
+        assert!(err.is_fuel_exhausted());
+        assert_eq!(err.kind, ErrorKind::FuelExhausted);
+    }
+
+    #[test]
+    fn oob_read_carries_structured_kind() {
+        let mut i = Interpreter::from_source("v = [1 2 3];\nx = v(7);").expect("parse ok");
+        let err = i.run_script().expect_err("must trap");
+        assert_eq!(err.kind, ErrorKind::OutOfBounds);
+        assert!(!err.is_fuel_exhausted());
     }
 
     #[test]

@@ -30,5 +30,5 @@ pub mod value;
 
 pub use builtins::{call_builtin, is_builtin, Host};
 pub use cx::Cx;
-pub use exec::{apply_binop, Interpreter, RuntimeError, DEFAULT_FUEL};
+pub use exec::{apply_binop, classify_message, ErrorKind, Interpreter, RuntimeError, DEFAULT_FUEL};
 pub use value::{Closure, Matrix, Value};

@@ -70,8 +70,24 @@ pub fn analyze(program: &Program, entry: &str, arg_types: &[Ty]) -> Analysis {
         diags: DiagnosticBag::new(),
         stack: Vec::new(),
     };
-    if program.function(entry).is_some() {
-        cx.analyze_function(entry, arg_types.to_vec(), Span::dummy());
+    if let Some(func) = program.function(entry) {
+        // The entry signature is the ABI boundary: unlike internal calls
+        // (where trailing parameters may legitimately be absent under
+        // `nargin` guards), every entry parameter must be bound to a
+        // concrete type or downstream stages see unknowns.
+        if func.params.len() != arg_types.len() {
+            cx.diags.error(
+                format!(
+                    "entry `{entry}` expects {} argument{}, signature provides {}",
+                    func.params.len(),
+                    if func.params.len() == 1 { "" } else { "s" },
+                    arg_types.len()
+                ),
+                func.span,
+            );
+        } else {
+            cx.analyze_function(entry, arg_types.to_vec(), Span::dummy());
+        }
     } else {
         cx.diags
             .error(format!("entry function `{entry}` not found"), Span::dummy());

@@ -287,19 +287,12 @@ fn rewrite_def(
                 BinOp::MatDiv => BinOp::ElemDiv,
                 other => *other,
             };
-            let like = if a_arr {
-                a.as_var().expect("array operand")
-            } else {
-                b.as_var().expect("array operand")
-            };
+            let like = if a_arr { a.as_var()? } else { b.as_var()? };
             let mut out = Vec::new();
             // MATLAB semantics demand a dimension check when both sides
             // are arrays; elide it only when shapes are statically equal.
             if a_arr && b_arr {
-                let (av, bv) = (
-                    a.as_var().expect("array operand"),
-                    b.as_var().expect("array operand"),
-                );
+                let (av, bv) = (a.as_var()?, b.as_var()?);
                 let (sa, sb) = (func.var_ty(av).shape, func.var_ty(bv).shape);
                 let statically_equal = sa.numel().is_some() && sa.numel() == sb.numel();
                 if !statically_equal {
@@ -319,6 +312,71 @@ fn rewrite_def(
                 complex,
                 span,
             }));
+            report.maps += 1;
+            Some(out)
+        }
+        // y = x .^ k on a dense real array with a small constant integer
+        // exponent: strength-reduced to element-wise multiply chains
+        // (`vmul` on SIMD targets) instead of per-lane `pow` calls.
+        Rvalue::Binary {
+            op: BinOp::ElemPow,
+            a,
+            b,
+        } if dense_array(dst_ty) && dst_ty.class == Class::Double => {
+            // In-place updates must not be rewritten (the allocation of
+            // the destination would clobber the source).
+            if a.as_var() == Some(dst) {
+                return None;
+            }
+            let x = a.as_var()?;
+            if !(dense_array(func.var_ty(x)) && func.var_ty(x).class == Class::Double) {
+                return None;
+            }
+            let k = match b {
+                Operand::Const(c) if c.fract() == 0.0 && (2.0..=4.0).contains(c) => *c as u32,
+                _ => return None,
+            };
+            let mut out = Vec::new();
+            let len = emit_alloc_like(func, &mut out, dst, x, span);
+            let square = |dst_ref: VecRef, src: VecRef, out: &mut Vec<Stmt>| {
+                out.push(Stmt::VectorOp(VectorOp {
+                    kind: VecKind::Map(BinOp::ElemMul),
+                    dst: dst_ref,
+                    a: src.clone(),
+                    b: Some(src),
+                    len,
+                    complex: false,
+                    span,
+                }));
+            };
+            match k {
+                2 => square(unit_slice(dst), unit_slice(x), &mut out),
+                3 => {
+                    // t = x .* x; dst = t .* x
+                    let t = func.add_temp(func.var_ty(dst));
+                    let _ = emit_alloc_like(func, &mut out, t, x, span);
+                    square(unit_slice(t), unit_slice(x), &mut out);
+                    out.push(Stmt::VectorOp(VectorOp {
+                        kind: VecKind::Map(BinOp::ElemMul),
+                        dst: unit_slice(dst),
+                        a: unit_slice(t),
+                        b: Some(unit_slice(x)),
+                        len,
+                        complex: false,
+                        span,
+                    }));
+                    report.maps += 1;
+                }
+                4 => {
+                    // t = x .* x; dst = t .* t
+                    let t = func.add_temp(func.var_ty(dst));
+                    let _ = emit_alloc_like(func, &mut out, t, x, span);
+                    square(unit_slice(t), unit_slice(x), &mut out);
+                    square(unit_slice(dst), unit_slice(t), &mut out);
+                    report.maps += 1;
+                }
+                _ => return None,
+            }
             report.maps += 1;
             Some(out)
         }
@@ -777,6 +835,45 @@ mod tests {
         assert!(ops
             .iter()
             .any(|o| matches!(&o.a, VecRef::Splat(Operand::Const(v)) if *v == 3.0)));
+    }
+
+    #[test]
+    fn elementwise_square_strength_reduced() {
+        let (f, report) = run("function y = f(x)\ny = x .^ 2;\nend", "f", &[vec_ty(8)]);
+        assert_eq!(report.maps, 1);
+        let ops = vecops(&f);
+        assert_eq!(ops.len(), 1);
+        assert!(matches!(ops[0].kind, VecKind::Map(BinOp::ElemMul)));
+    }
+
+    #[test]
+    fn elementwise_cube_uses_mul_chain() {
+        let (f, report) = run("function y = f(x)\ny = x .^ 3;\nend", "f", &[vec_ty(8)]);
+        assert_eq!(report.maps, 2);
+        let ops = vecops(&f);
+        assert_eq!(ops.len(), 2);
+        assert!(ops
+            .iter()
+            .all(|o| matches!(o.kind, VecKind::Map(BinOp::ElemMul))));
+    }
+
+    #[test]
+    fn fourth_power_squares_twice() {
+        let (f, report) = run("function y = f(x)\ny = x .^ 4;\nend", "f", &[vec_ty(8)]);
+        assert_eq!(report.maps, 2);
+        assert_eq!(vecops(&f).len(), 2);
+    }
+
+    #[test]
+    fn non_integer_exponent_stays_scalar() {
+        let (_, report) = run("function y = f(x)\ny = x .^ 2.5;\nend", "f", &[vec_ty(8)]);
+        assert_eq!(report.maps, 0);
+    }
+
+    #[test]
+    fn large_exponent_stays_scalar() {
+        let (_, report) = run("function y = f(x)\ny = x .^ 9;\nend", "f", &[vec_ty(8)]);
+        assert_eq!(report.maps, 0);
     }
 
     #[test]

@@ -161,10 +161,17 @@ fn try_vectorize_loop(
     live_after: &HashSet<VarId>,
     report: &mut LoopReport,
 ) -> Option<Vec<Stmt>> {
-    // Unit-stride counted loops only.
-    if step.as_const() != Some(1.0) {
-        return None;
-    }
+    // Unit-stride counted loops only, forward (`1:n`) or reverse
+    // (`n:-1:1`). Other strides are counted as rejections so the missed
+    // vectorization is visible in the report instead of silent.
+    let step_const = step.as_const();
+    let dir = if step_const == Some(1.0) {
+        1.0
+    } else if step_const == Some(-1.0) {
+        -1.0
+    } else {
+        return give_up(report);
+    };
     // The body must be straight-line Defs plus at most one Store.
     let mut stores = 0usize;
     for s in body {
@@ -336,7 +343,13 @@ fn try_vectorize_loop(
 
     let span = Span::dummy();
     let mut prelude: Vec<Stmt> = Vec::new();
-    let len = emit_len(func, &mut prelude, start, stop, span);
+    // A reverse loop has its bounds swapped: `n:-1:1` runs `n - 1 + 1`
+    // iterations.
+    let len = if dir < 0.0 {
+        emit_len(func, &mut prelude, stop, start, span)
+    } else {
+        emit_len(func, &mut prelude, start, stop, span)
+    };
 
     match (store, acc_update) {
         (Some((dst_arr, indices, value, sspan)), None) => {
@@ -368,27 +381,27 @@ fn try_vectorize_loop(
             }
             let complex = is_complex(func, dst_arr)
                 || sym_leaves_owned(&sym).iter().any(|l| leaf_complex(func, l));
-            let dst_ref = slice_from(func, &mut prelude, dst_arr, &dst_affine, start, span);
+            let dst_ref = slice_from(func, &mut prelude, dst_arr, &dst_affine, start, dir, span);
             let (kind, a, b) = match sym {
                 Sym::Leaf(l) => (
                     VecKind::Copy,
-                    leaf_ref(func, &mut prelude, &env, &l, start, span)?,
+                    leaf_ref(func, &mut prelude, &env, &l, start, dir, span)?,
                     None,
                 ),
                 Sym::Un(op, l) => (
                     VecKind::MapUnary(op),
-                    leaf_ref(func, &mut prelude, &env, &l, start, span)?,
+                    leaf_ref(func, &mut prelude, &env, &l, start, dir, span)?,
                     None,
                 ),
                 Sym::Fn1(name, l) => (
                     VecKind::MapBuiltin(name),
-                    leaf_ref(func, &mut prelude, &env, &l, start, span)?,
+                    leaf_ref(func, &mut prelude, &env, &l, start, dir, span)?,
                     None,
                 ),
                 Sym::Bin(op, la, lb) => (
                     VecKind::Map(op),
-                    leaf_ref(func, &mut prelude, &env, &la, start, span)?,
-                    Some(leaf_ref(func, &mut prelude, &env, &lb, start, span)?),
+                    leaf_ref(func, &mut prelude, &env, &la, start, dir, span)?,
+                    Some(leaf_ref(func, &mut prelude, &env, &lb, start, dir, span)?),
                 ),
             };
             report.maps += 1;
@@ -409,8 +422,8 @@ fn try_vectorize_loop(
                 || sym_leaves_owned(&sym).iter().any(|l| leaf_complex(func, l));
             match sym {
                 Sym::Bin(BinOp::ElemMul | BinOp::MatMul, la, lb) => {
-                    let a = leaf_ref(func, &mut prelude, &env, &la, start, span)?;
-                    let b = leaf_ref(func, &mut prelude, &env, &lb, start, span)?;
+                    let a = leaf_ref(func, &mut prelude, &env, &la, start, dir, span)?;
+                    let b = leaf_ref(func, &mut prelude, &env, &lb, start, dir, span)?;
                     report.macs += 1;
                     prelude.push(Stmt::VectorOp(VectorOp {
                         kind: VecKind::Mac,
@@ -424,7 +437,7 @@ fn try_vectorize_loop(
                     Some(prelude)
                 }
                 Sym::Leaf(l) => {
-                    let a = leaf_ref(func, &mut prelude, &env, &l, start, span)?;
+                    let a = leaf_ref(func, &mut prelude, &env, &l, start, dir, span)?;
                     report.reductions += 1;
                     prelude.push(Stmt::VectorOp(VectorOp {
                         kind: VecKind::Reduce(ReduceKind::Sum),
@@ -501,22 +514,25 @@ fn slice_from(
     array: VarId,
     affine: &Affine,
     loop_start: Operand,
+    dir: f64,
     span: Span,
 ) -> VecRef {
     let start = emit_affine(func, prelude, affine, loop_start, span);
     VecRef::Slice {
         array,
         start,
-        step: Operand::Const(affine.i_coeff),
+        step: Operand::Const(affine.i_coeff * dir),
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn leaf_ref(
     func: &mut MirFunction,
     prelude: &mut Vec<Stmt>,
     env: &LoopEnv,
     leaf: &Leaf,
     loop_start: Operand,
+    dir: f64,
     span: Span,
 ) -> Option<VecRef> {
     match leaf {
@@ -540,7 +556,9 @@ fn leaf_ref(
                 Some(VecRef::Splat(Operand::Var(t)))
             } else {
                 let _ = env;
-                Some(slice_from(func, prelude, *array, affine, loop_start, span))
+                Some(slice_from(
+                    func, prelude, *array, affine, loop_start, dir, span,
+                ))
             }
         }
     }
@@ -728,6 +746,42 @@ mod tests {
             &[vec_ty(64), Ty::double_scalar()],
         );
         assert_eq!(report.maps, 0);
+        assert_eq!(
+            report.rejected, 1,
+            "non-unit stride must be a visible rejection"
+        );
+    }
+
+    #[test]
+    fn recognizes_reverse_iteration_loop() {
+        // `for i = n:-1:1` — copy-scale kernel written backwards.
+        let (f, report) = vectorized(
+            "function y = f(a, k, n)\ny = zeros(1, 64);\nfor i = n:-1:1\n y(i) = k * a(i);\nend\nend",
+            "f",
+            &[vec_ty(64), Ty::double_scalar(), Ty::double_scalar()],
+        );
+        assert_eq!(report.maps, 1);
+        let mut neg_dst = false;
+        walk_stmts(&f.body, &mut |s| {
+            if let Stmt::VectorOp(v) = s {
+                if let VecRef::Slice { step, .. } = &v.dst {
+                    if step.as_const() == Some(-1.0) {
+                        neg_dst = true;
+                    }
+                }
+            }
+        });
+        assert!(neg_dst, "reverse loop should write a -1-stride slice");
+    }
+
+    #[test]
+    fn reverse_mac_loop_vectorizes() {
+        let (_, report) = vectorized(
+            "function s = f(a, b, n)\ns = 0;\nfor i = n:-1:1\n s = s + a(i) * b(i);\nend\nend",
+            "f",
+            &[vec_ty(64), vec_ty(64), Ty::double_scalar()],
+        );
+        assert_eq!(report.macs, 1);
     }
 
     #[test]

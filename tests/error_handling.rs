@@ -182,3 +182,60 @@ fn unknown_builtin_is_reported_with_name() {
     let text = err.to_string();
     assert!(text.contains("quux"), "{text}");
 }
+
+#[test]
+fn sim_errors_carry_structured_kinds() {
+    use matic::SimErrorKind;
+    let compiled = Compiler::new()
+        .compile(
+            "function y = f(x, i)\ny = x(i);\nend",
+            "f",
+            &[arg::vector(4), arg::scalar()],
+        )
+        .expect("compiles");
+    let oob = compiled
+        .simulate(vec![
+            SimVal::row(&[1.0, 2.0, 3.0, 4.0]),
+            SimVal::scalar(9.0),
+        ])
+        .unwrap_err();
+    assert_eq!(oob.kind, SimErrorKind::OutOfBounds);
+    assert!(!oob.is_fuel_exhausted());
+}
+
+#[test]
+fn fuel_exhaustion_is_a_distinct_error_kind() {
+    use matic::SimErrorKind;
+    let compiled = Compiler::new()
+        .compile(
+            "function y = f(x)\ny = 0;\nwhile 1\ny = y + 1;\nend\nend",
+            "f",
+            &[arg::scalar()],
+        )
+        .expect("compiles");
+    let err = compiled
+        .simulator()
+        .with_fuel(50_000)
+        .run(vec![SimVal::scalar(1.0)])
+        .unwrap_err();
+    assert_eq!(err.kind, SimErrorKind::FuelExhausted);
+    assert!(err.is_fuel_exhausted());
+    assert!(err.message.contains("fuel exhausted"), "{err}");
+}
+
+#[test]
+fn entry_signature_arity_mismatch_is_a_sema_error() {
+    let err = Compiler::new()
+        .compile(
+            "function y = f(x, h)\ny = x + h;\nend",
+            "f",
+            &[arg::vector(8)],
+        )
+        .unwrap_err();
+    match err {
+        CompileError::Sema(d) => {
+            assert!(d.message.contains("expects 2 arguments"), "{d}");
+        }
+        other => panic!("expected sema error, got {other}"),
+    }
+}

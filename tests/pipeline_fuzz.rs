@@ -1,0 +1,427 @@
+//! Full-pipeline differential fuzzing: generate well-typed random MATLAB
+//! programs and require that every execution engine agrees on the
+//! *outcome* — both successful outputs and error outcomes (out-of-bounds
+//! reads, fuel exhaustion).
+//!
+//! Five legs per program:
+//!
+//! 1. the reference interpreter,
+//! 2. the tree-walking ASIP simulator,
+//! 3. the pre-decoded ASIP simulator at full optimization,
+//! 4. the pre-decoded simulator at the scalar baseline level,
+//! 5. the generated C compiled by the host compiler with
+//!    `-DMATIC_BOUNDS_CHECK` (skipped for non-terminating programs —
+//!    the C runtime has no fuel meter — and when no compiler exists).
+//!
+//! Programs that trap must trap *the same way* everywhere: the legs'
+//! structured error kinds ([`matic_interp::ErrorKind`]) are compared, and
+//! the C leg's stderr is classified through the same
+//! [`matic_interp::classify_message`] rules the library errors use.
+//!
+//! Case count and seed are env-tunable so CI can run a larger fixed-seed
+//! smoke (`MATIC_FUZZ_CASES=500`) without slowing local `cargo test`.
+
+use matic::{arg, CValue, Compiler, Harness, Interpreter, OptLevel, SimVal};
+use matic_benchkit::{from_interp, outputs_close, sim_to_cvalue, to_interp, to_sim};
+use matic_interp::{classify_message, ErrorKind};
+use std::path::PathBuf;
+use std::process::Command;
+use std::sync::Arc;
+
+/// Statement budget for every engine. Generated terminating programs stay
+/// far below it; the injected `while 1` spin always exhausts it.
+const FUEL: u64 = 300_000;
+
+const ENTRY: &str = "fz";
+
+fn cases() -> u64 {
+    std::env::var("MATIC_FUZZ_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+fn seed() -> u64 {
+    std::env::var("MATIC_FUZZ_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0x5EED_CAFE)
+}
+
+fn cc() -> Option<&'static str> {
+    ["cc", "gcc", "clang"].into_iter().find(|cand| {
+        Command::new(cand)
+            .arg("--version")
+            .output()
+            .map(|o| o.status.success())
+            .unwrap_or(false)
+    })
+}
+
+// ---- deterministic program generator ---------------------------------------
+
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    /// Uniform in [-1, 1).
+    fn f64(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+    }
+}
+
+/// How a generated program is expected to end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Fault {
+    /// Terminates normally with a vector output.
+    None,
+    /// Reads `v(k)` where the runtime input `k` is past the end.
+    OobRead,
+    /// Runs `while 1` until the fuel meter trips.
+    Spin,
+}
+
+struct Case {
+    src: String,
+    /// Vector input length (both `a` and `b`).
+    n: usize,
+    /// Value of the scalar input `k`.
+    k: f64,
+    fault: Fault,
+}
+
+/// Emits one well-typed random program over the fixed signature
+/// `function y = fz(a, b, k)` with `a`, `b` 1×n vectors and `k` scalar.
+/// Every construct used here is supported by all engines; faults are
+/// injected only through runtime *values* (`k` as an index) or an
+/// explicit spin loop, so legality never depends on luck.
+fn gen_case(rng: &mut Rng) -> Case {
+    let n = 4 + rng.below(13) as usize; // 4..=16
+    let mut vecs: Vec<String> = vec!["a".into(), "b".into()];
+    let mut scalars: Vec<String> = vec!["k".into()];
+    let mut body = String::new();
+
+    let pick = |rng: &mut Rng, pool: &[String]| -> String {
+        pool[rng.below(pool.len() as u64) as usize].clone()
+    };
+
+    let nstmt = 2 + rng.below(7);
+    for id in 0..nstmt {
+        match rng.below(8) {
+            0 | 1 => {
+                // Element-wise vector arithmetic.
+                let x = pick(rng, &vecs);
+                let y = pick(rng, &vecs);
+                let op = ["+", "-", ".*"][rng.below(3) as usize];
+                let dst = format!("w{id}");
+                body.push_str(&format!("{dst} = {x} {op} {y};\n"));
+                vecs.push(dst);
+            }
+            2 => {
+                // Scalar broadcast.
+                let s = pick(rng, &scalars);
+                let v = pick(rng, &vecs);
+                let dst = format!("w{id}");
+                body.push_str(&format!("{dst} = {s} * {v};\n"));
+                vecs.push(dst);
+            }
+            3 => {
+                // Elementwise power (strength-reduced by the vectorizer).
+                let v = pick(rng, &vecs);
+                let p = 2 + rng.below(2); // 2 or 3
+                let dst = format!("w{id}");
+                body.push_str(&format!("{dst} = {v} .^ {p};\n"));
+                vecs.push(dst);
+            }
+            4 => {
+                let v = pick(rng, &vecs);
+                let dst = format!("t{id}");
+                body.push_str(&format!("{dst} = sum({v});\n"));
+                scalars.push(dst);
+            }
+            5 => {
+                let x = pick(rng, &scalars);
+                let y = pick(rng, &scalars);
+                let op = ["+", "-", "*"][rng.below(3) as usize];
+                let dst = format!("t{id}");
+                body.push_str(&format!("{dst} = {x} {op} {y};\n"));
+                scalars.push(dst);
+            }
+            6 => {
+                // Constant (always in-bounds) element read.
+                let v = pick(rng, &vecs);
+                let c = 1 + rng.below(n as u64);
+                let dst = format!("t{id}");
+                body.push_str(&format!("{dst} = {v}({c});\n"));
+                scalars.push(dst);
+            }
+            _ => {
+                // A scaling loop, half the time iterated in reverse.
+                let s = pick(rng, &scalars);
+                let v = pick(rng, &vecs);
+                let dst = format!("w{id}");
+                let range = if rng.below(2) == 0 {
+                    format!("1:{n}")
+                } else {
+                    format!("{n}:-1:1")
+                };
+                body.push_str(&format!(
+                    "{dst} = zeros(1, {n});\nfor i = {range}\n{dst}(i) = {s} * {v}(i);\nend\n"
+                ));
+                vecs.push(dst);
+            }
+        }
+    }
+
+    // Ending: plain return, a dynamic read indexed by the runtime input
+    // `k` (valid or out of bounds), or a fuel-burning spin.
+    let vend = pick(rng, &vecs);
+    let (tail, k, fault) = match rng.below(10) {
+        0..=4 => (format!("y = {vend};\n"), rng.f64(), Fault::None),
+        5..=7 => {
+            let k = (1 + rng.below(n as u64)) as f64;
+            (
+                format!("tr = {vend}(k);\ny = tr * {vend};\n"),
+                k,
+                Fault::None,
+            )
+        }
+        8 => {
+            let k = (n as u64 + 1 + rng.below(3)) as f64;
+            (
+                format!("tr = {vend}(k);\ny = tr * {vend};\n"),
+                k,
+                Fault::OobRead,
+            )
+        }
+        _ => (
+            format!("q = 0;\nwhile 1\nq = q + 1;\nend\ny = q * {vend};\n"),
+            rng.f64(),
+            Fault::Spin,
+        ),
+    };
+    body.push_str(&tail);
+
+    Case {
+        src: format!("function y = {ENTRY}(a, b, k)\n{body}end\n"),
+        n,
+        k,
+        fault,
+    }
+}
+
+// ---- outcomes --------------------------------------------------------------
+
+/// What running a program produced: outputs, or a classified error.
+#[derive(Debug)]
+enum Outcome {
+    Values(Vec<CValue>),
+    Fail(ErrorKind),
+}
+
+fn agree(case: &Case, reference: &Outcome, got: &Outcome, leg: &str) {
+    match (reference, got) {
+        (Outcome::Values(want), Outcome::Values(have)) => {
+            assert_eq!(
+                want.len(),
+                have.len(),
+                "{leg}: output count mismatch\n--- program ---\n{}",
+                case.src
+            );
+            for (w, h) in want.iter().zip(have) {
+                outputs_close(h, w, 1e-9).unwrap_or_else(|e| {
+                    panic!("{leg}: outputs diverge: {e}\n--- program ---\n{}", case.src)
+                });
+            }
+        }
+        (Outcome::Fail(want), Outcome::Fail(have)) => {
+            assert_eq!(
+                want, have,
+                "{leg}: error kind mismatch\n--- program ---\n{}",
+                case.src
+            );
+        }
+        _ => panic!(
+            "{leg}: outcome mismatch: reference {reference:?} vs {got:?}\n--- program ---\n{}",
+            case.src
+        ),
+    }
+}
+
+fn interp_leg(case: &Case, inputs: &[CValue]) -> Outcome {
+    let mut interp = Interpreter::from_source(&case.src).expect("generated program parses");
+    interp.set_fuel(FUEL);
+    match interp.call(ENTRY, inputs.iter().map(to_interp).collect(), 1) {
+        Ok(outs) => Outcome::Values(
+            outs.iter()
+                .map(|v| from_interp(v).expect("printable output"))
+                .collect(),
+        ),
+        Err(e) => Outcome::Fail(e.kind),
+    }
+}
+
+fn sim_outcome(res: Result<matic::SimOutcome, matic::SimError>) -> Outcome {
+    match res {
+        Ok(out) => Outcome::Values(out.outputs.iter().map(sim_to_cvalue).collect()),
+        Err(e) => Outcome::Fail(e.kind),
+    }
+}
+
+fn c_leg(case: &Case, compiled: &matic::Compiled, inputs: &[CValue], compiler: &str) -> Outcome {
+    let entry = compiled
+        .mir
+        .function(&compiled.entry)
+        .expect("entry in MIR");
+    let main_src = Harness
+        .main_source(entry, inputs, 1)
+        .expect("harness generated");
+    let dir = unique_dir();
+    let c_path =
+        matic_codegen::write_module(&dir, &compiled.c, Some(&main_src)).expect("module written");
+    let exe = dir.join("prog");
+    let out = Command::new(compiler)
+        .args(["-std=c99", "-O0", "-w", "-DMATIC_BOUNDS_CHECK", "-o"])
+        .arg(&exe)
+        .arg(&c_path)
+        .arg("-lm")
+        .output()
+        .expect("cc invocation");
+    assert!(
+        out.status.success(),
+        "C compilation failed:\n{}\n--- program ---\n{}",
+        String::from_utf8_lossy(&out.stderr),
+        case.src
+    );
+    let run = Command::new(&exe).output().expect("kernel runs");
+    let _ = std::fs::remove_dir_all(&dir);
+    if run.status.success() {
+        let parsed = CValue::parse_outputs(&String::from_utf8_lossy(&run.stdout))
+            .unwrap_or_else(|e| panic!("bad harness output: {e}\n--- program ---\n{}", case.src));
+        Outcome::Values(parsed)
+    } else {
+        let stderr = String::from_utf8_lossy(&run.stderr).into_owned();
+        assert!(
+            stderr.contains("matic:"),
+            "C kernel failed without a `matic:` diagnostic:\n{stderr}\n--- program ---\n{}",
+            case.src
+        );
+        Outcome::Fail(classify_message(&stderr))
+    }
+}
+
+fn unique_dir() -> PathBuf {
+    let pid = std::process::id();
+    let t = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .expect("clock")
+        .as_nanos();
+    std::env::temp_dir().join(format!("matic_fuzz_{pid}_{t}"))
+}
+
+// ---- the fuzz loop ---------------------------------------------------------
+
+#[test]
+fn all_engines_agree_on_random_programs() {
+    let compiler = cc();
+    if compiler.is_none() {
+        eprintln!("note: no C compiler found; running without the C leg");
+    }
+    let mut rng = Rng::new(seed());
+    let mut fault_counts = [0usize; 3];
+    let total = cases();
+    for case_no in 0..total {
+        let case = gen_case(&mut rng);
+        fault_counts[case.fault as usize] += 1;
+        let mut inputs = Vec::with_capacity(3);
+        let mut stim = Rng::new(rng.next());
+        inputs.push(CValue::row(
+            &(0..case.n).map(|_| stim.f64()).collect::<Vec<_>>(),
+        ));
+        inputs.push(CValue::row(
+            &(0..case.n).map(|_| stim.f64()).collect::<Vec<_>>(),
+        ));
+        inputs.push(CValue::scalar(case.k));
+
+        let tag = |leg: &str| format!("case {case_no} [{leg}]");
+        let reference = interp_leg(&case, &inputs);
+        if case.fault == Fault::OobRead {
+            assert!(
+                matches!(reference, Outcome::Fail(ErrorKind::OutOfBounds)),
+                "{}: expected an OOB error, got {reference:?}\n--- program ---\n{}",
+                tag("interp"),
+                case.src
+            );
+        }
+        if case.fault == Fault::Spin {
+            assert!(
+                matches!(reference, Outcome::Fail(ErrorKind::FuelExhausted)),
+                "{}: expected fuel exhaustion, got {reference:?}\n--- program ---\n{}",
+                tag("interp"),
+                case.src
+            );
+        }
+
+        let arg_tys = [arg::vector(case.n), arg::vector(case.n), arg::scalar()];
+        let sim_inputs: Vec<SimVal> = inputs.iter().map(to_sim).collect();
+        for (label, opt) in [("opt", OptLevel::full()), ("base", OptLevel::baseline())] {
+            let compiled = Compiler::new()
+                .opt_level(opt)
+                .compile(&case.src, ENTRY, &arg_tys)
+                .unwrap_or_else(|e| {
+                    panic!(
+                        "{}: generated program failed to compile: {e}\n--- program ---\n{}",
+                        tag(label),
+                        case.src
+                    )
+                });
+
+            let decoded = compiled.simulator().with_fuel(FUEL).run(sim_inputs.clone());
+            agree(
+                &case,
+                &reference,
+                &sim_outcome(decoded),
+                &tag(&format!("{label}/decoded")),
+            );
+
+            if label == "opt" {
+                let machine =
+                    matic::AsipMachine::from_shared(Arc::clone(&compiled.spec)).with_fuel(FUEL);
+                let walked = machine.run_interpreted(&compiled.mir, ENTRY, sim_inputs.clone());
+                agree(
+                    &case,
+                    &reference,
+                    &sim_outcome(walked),
+                    &tag("opt/tree-walk"),
+                );
+
+                if case.fault != Fault::Spin {
+                    if let Some(compiler) = compiler {
+                        let c = c_leg(&case, &compiled, &inputs, compiler);
+                        agree(&case, &reference, &c, &tag("opt/C"));
+                    }
+                }
+            }
+        }
+    }
+    eprintln!(
+        "pipeline fuzz: {total} cases agreed ({} clean, {} oob, {} spin)",
+        fault_counts[0], fault_counts[1], fault_counts[2]
+    );
+}
