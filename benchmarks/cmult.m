@@ -1,0 +1,4 @@
+function y = cmult(x, w)
+% Point-wise complex mix: y = x .* w
+y = x .* w;
+end

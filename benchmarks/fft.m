@@ -1,0 +1,40 @@
+function y = fft_r2(x)
+% In-place iterative radix-2 decimation-in-time FFT; length(x) must be a
+% power of two.
+n = length(x);
+y = x;
+% Bit-reversal permutation.
+j = 1;
+for i = 1:n-1
+    if i < j
+        tmp = y(j);
+        y(j) = y(i);
+        y(i) = tmp;
+    end
+    k = n / 2;
+    while k < j
+        j = j - k;
+        k = k / 2;
+    end
+    j = j + k;
+end
+% Twiddle table, computed once: wtab(k) = exp(-2*pi*1i*(k-1)/n).
+halfn = n / 2;
+wtab = exp(1i * ((0:halfn-1) * (-2 * pi / n)));
+% Butterfly passes over whole slices (vectorized MATLAB style).
+len = 2;
+while len <= n
+    half = len / 2;
+    stride = n / len;
+    w = wtab(1:stride:halfn);
+    s = 1;
+    while s <= n
+        u = y(s:s+half-1);
+        v = y(s+half:s+len-1) .* w;
+        y(s:s+half-1) = u + v;
+        y(s+half:s+len-1) = u - v;
+        s = s + len;
+    end
+    len = len * 2;
+end
+end

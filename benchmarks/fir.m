@@ -1,0 +1,14 @@
+function y = fir(x, h)
+% FIR filter: y(k) = sum_t h(t) * x(k - t + 1)
+n = length(x);
+m = length(h);
+y = zeros(1, n);
+for k = 1:n
+    acc = 0;
+    hi = min(k, m);
+    for t = 1:hi
+        acc = acc + h(t) * x(k - t + 1);
+    end
+    y(k) = acc;
+end
+end

@@ -1,0 +1,20 @@
+function y = iir(x, b, a)
+% Direct-form IIR: a(1)*y(k) = sum b(t) x(k-t+1) - sum a(t) y(k-t+1)
+n = length(x);
+nb = length(b);
+na = length(a);
+ga = -a;
+y = zeros(1, n);
+for k = 1:n
+    acc = 0;
+    hb = min(k, nb);
+    for t = 1:hb
+        acc = acc + b(t) * x(k - t + 1);
+    end
+    ha = min(k, na);
+    for t = 2:ha
+        acc = acc + ga(t) * y(k - t + 1);
+    end
+    y(k) = acc / a(1);
+end
+end

@@ -1,0 +1,13 @@
+function c = matmul(a, b)
+% c = a * b via row-by-column dot products.
+[n, m] = size(a);
+[m2, p] = size(b);
+c = zeros(n, p);
+for i = 1:n
+    ra = a(i, :);
+    for j = 1:p
+        cb = b(:, j);
+        c(i, j) = sum(ra .* cb');
+    end
+end
+end

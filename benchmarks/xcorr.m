@@ -1,0 +1,14 @@
+function r = xcorr_k(x, y, maxlag)
+% r(lag + maxlag + 1) = sum_t x(t + lag) * y(t)
+n = length(x);
+r = zeros(1, 2 * maxlag + 1);
+for lag = -maxlag:maxlag
+    acc = 0;
+    lo = max(1, 1 - lag);
+    hi = min(n, n - lag);
+    for t = lo:hi
+        acc = acc + x(t + lag) * y(t);
+    end
+    r(lag + maxlag + 1) = acc;
+end
+end

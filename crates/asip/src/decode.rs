@@ -72,10 +72,11 @@ pub enum DInst {
         if_false: u32,
         burn: bool,
         exit_loop: bool,
+        span: Span,
     },
     /// Unconditional jump (loop back-edges, if/else joins). Free at
     /// runtime: the tree walker has no corresponding charge.
-    Jump { target: u32 },
+    Jump { target: u32, span: Span },
     /// `For` loop entry: evaluates bounds, computes the trip count and
     /// pushes a loop frame. The next instruction is the [`DInst::ForNext`]
     /// heading the loop.
@@ -84,23 +85,50 @@ pub enum DInst {
         start: Operand,
         step: Operand,
         stop: Operand,
+        span: Span,
     },
     /// `For` loop head: either starts the next iteration (burn fuel,
     /// charge induction-update + branch, set the loop variable) or pops
     /// the frame and jumps to `end`.
-    ForNext { end: u32 },
+    ForNext { end: u32, span: Span },
     /// `While` loop entry: burns statement-entry fuel and pushes a frame.
-    WhileEnter,
+    WhileEnter { span: Span },
     /// `While` iteration head: burns per-iteration fuel before the
     /// condition block runs.
-    WhileIter,
+    WhileIter { span: Span },
     /// `break`: pops the innermost loop frame and jumps past the loop.
-    Break { target: u32 },
+    Break { target: u32, span: Span },
     /// `continue`: jumps to the innermost loop's iteration head.
-    Continue { target: u32 },
+    Continue { target: u32, span: Span },
     /// `return` (also `break`/`continue` outside any loop, which end the
     /// function in the tree walker).
-    Return,
+    Return { span: Span },
+}
+
+impl DInst {
+    /// The source span the instruction was decoded from. Control
+    /// instructions inherit the span of their originating statement (an
+    /// `if`/`for`/`while` header, or the `break`/`continue`/`return`
+    /// itself); synthesized joins and back-edges use the enclosing
+    /// construct's header span.
+    pub fn span(&self) -> Span {
+        match self {
+            DInst::Def { span, .. }
+            | DInst::Store { span, .. }
+            | DInst::CallMulti { span, .. }
+            | DInst::Effect { span, .. }
+            | DInst::Branch { span, .. }
+            | DInst::Jump { span, .. }
+            | DInst::ForSetup { span, .. }
+            | DInst::ForNext { span, .. }
+            | DInst::WhileEnter { span }
+            | DInst::WhileIter { span }
+            | DInst::Break { span, .. }
+            | DInst::Continue { span, .. }
+            | DInst::Return { span } => *span,
+            DInst::VectorOp(vop) => vop.span,
+        }
+    }
 }
 
 /// One function's decoded instruction stream, parallel to
@@ -224,6 +252,7 @@ impl FnDecoder<'_> {
                 cond,
                 then_body,
                 else_body,
+                span,
             } => {
                 let branch_at = self.code.len();
                 self.code.push(DInst::Branch {
@@ -231,6 +260,7 @@ impl FnDecoder<'_> {
                     if_false: 0,
                     burn: true,
                     exit_loop: false,
+                    span: *span,
                 });
                 self.emit_block(then_body);
                 if else_body.is_empty() {
@@ -238,12 +268,18 @@ impl FnDecoder<'_> {
                     self.patch_branch(branch_at, join);
                 } else {
                     let jump_at = self.code.len();
-                    self.code.push(DInst::Jump { target: 0 });
+                    self.code.push(DInst::Jump {
+                        target: 0,
+                        span: *span,
+                    });
                     let else_start = self.pc();
                     self.patch_branch(branch_at, else_start);
                     self.emit_block(else_body);
                     let join = self.pc();
-                    self.code[jump_at] = DInst::Jump { target: join };
+                    self.code[jump_at] = DInst::Jump {
+                        target: join,
+                        span: *span,
+                    };
                 }
             }
             Stmt::For {
@@ -252,32 +288,41 @@ impl FnDecoder<'_> {
                 step,
                 stop,
                 body,
+                span,
             } => {
                 self.code.push(DInst::ForSetup {
                     var: *var,
                     start: *start,
                     step: *step,
                     stop: *stop,
+                    span: *span,
                 });
                 let head = self.pc();
                 let for_next_at = self.code.len();
-                self.code.push(DInst::ForNext { end: 0 });
+                self.code.push(DInst::ForNext {
+                    end: 0,
+                    span: *span,
+                });
                 self.loops.push(LoopCtx {
                     continue_pc: head,
                     exit_fixups: vec![for_next_at],
                 });
                 self.emit_block(body);
-                self.code.push(DInst::Jump { target: head });
+                self.code.push(DInst::Jump {
+                    target: head,
+                    span: *span,
+                });
                 self.finish_loop();
             }
             Stmt::While {
                 cond_defs,
                 cond,
                 body,
+                span,
             } => {
-                self.code.push(DInst::WhileEnter);
+                self.code.push(DInst::WhileEnter { span: *span });
                 let head = self.pc();
-                self.code.push(DInst::WhileIter);
+                self.code.push(DInst::WhileIter { span: *span });
                 self.loops.push(LoopCtx {
                     continue_pc: head,
                     exit_fixups: Vec::new(),
@@ -289,6 +334,7 @@ impl FnDecoder<'_> {
                     if_false: 0,
                     burn: false,
                     exit_loop: true,
+                    span: *span,
                 });
                 self.loops
                     .last_mut()
@@ -296,25 +342,32 @@ impl FnDecoder<'_> {
                     .exit_fixups
                     .push(test_at);
                 self.emit_block(body);
-                self.code.push(DInst::Jump { target: head });
+                self.code.push(DInst::Jump {
+                    target: head,
+                    span: *span,
+                });
                 self.finish_loop();
             }
-            Stmt::Break => match self.loops.last_mut() {
+            Stmt::Break(span) => match self.loops.last_mut() {
                 Some(ctx) => {
                     ctx.exit_fixups.push(self.code.len());
-                    self.code.push(DInst::Break { target: 0 });
+                    self.code.push(DInst::Break {
+                        target: 0,
+                        span: *span,
+                    });
                 }
                 // Outside a loop the tree walker's Break flow propagates
                 // out of the function body: function end.
-                None => self.code.push(DInst::Return),
+                None => self.code.push(DInst::Return { span: *span }),
             },
-            Stmt::Continue => match self.loops.last() {
+            Stmt::Continue(span) => match self.loops.last() {
                 Some(ctx) => self.code.push(DInst::Continue {
                     target: ctx.continue_pc,
+                    span: *span,
                 }),
-                None => self.code.push(DInst::Return),
+                None => self.code.push(DInst::Return { span: *span }),
             },
-            Stmt::Return => self.code.push(DInst::Return),
+            Stmt::Return(span) => self.code.push(DInst::Return { span: *span }),
         }
     }
 
@@ -332,9 +385,9 @@ impl FnDecoder<'_> {
         let ctx = self.loops.pop().expect("loop ctx on stack");
         for at in ctx.exit_fixups {
             match &mut self.code[at] {
-                DInst::ForNext { end } => *end = exit,
+                DInst::ForNext { end, .. } => *end = exit,
                 DInst::Branch { if_false, .. } => *if_false = exit,
-                DInst::Break { target } => *target = exit,
+                DInst::Break { target, .. } => *target = exit,
                 other => unreachable!("bad loop fixup target {other:?}"),
             }
         }
@@ -370,7 +423,7 @@ mod tests {
         assert!(decoded.funcs[idx]
             .code
             .iter()
-            .all(|i| matches!(i, DInst::Def { .. } | DInst::Return)));
+            .all(|i| matches!(i, DInst::Def { .. } | DInst::Return { .. })));
     }
 
     #[test]
@@ -386,13 +439,13 @@ mod tests {
         let mut saw_while = false;
         for inst in code {
             match inst {
-                DInst::ForNext { end } => {
+                DInst::ForNext { end, .. } => {
                     saw_for = true;
                     assert!(*end <= len);
                 }
                 DInst::Branch { if_false, .. } => assert!(*if_false <= len),
-                DInst::Jump { target } => assert!(*target < len),
-                DInst::WhileEnter => saw_while = true,
+                DInst::Jump { target, .. } => assert!(*target < len),
+                DInst::WhileEnter { .. } => saw_while = true,
                 _ => {}
             }
         }
@@ -416,14 +469,14 @@ mod tests {
             .collect();
         assert_eq!(heads.len(), 2);
         let (outer_head, inner_head) = (heads[0], heads[1]);
-        let DInst::ForNext { end: inner_end } = code[inner_head] else {
+        let DInst::ForNext { end: inner_end, .. } = code[inner_head] else {
             unreachable!()
         };
         for inst in code {
-            if let DInst::Break { target } = inst {
+            if let DInst::Break { target, .. } = inst {
                 assert_eq!(*target, inner_end, "break exits the inner loop");
             }
-            if let DInst::Continue { target } = inst {
+            if let DInst::Continue { target, .. } = inst {
                 assert_eq!(
                     *target as usize, inner_head,
                     "continue re-enters inner head"

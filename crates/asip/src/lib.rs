@@ -42,9 +42,11 @@
 //! ```
 
 pub mod decode;
+pub mod profile;
 pub mod report;
 pub mod sim;
 
 pub use decode::{decode_program, DecodedProgram};
+pub use profile::{Profile, SpanCounters, PROFILE_SCHEMA};
 pub use report::CycleReport;
 pub use sim::{AsipMachine, SimError, SimErrorKind, SimOutcome, SimVal, Simulator};

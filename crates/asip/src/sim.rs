@@ -10,6 +10,7 @@
 //! MATLAB-Coder-style code vs. cycles of custom-instruction code.
 
 use crate::decode::{decode_program, DInst, DecodedFunction, DecodedProgram};
+use crate::profile::Profile;
 use crate::report::CycleReport;
 use matic_frontend::ast::{BinOp, UnOp};
 use matic_frontend::span::Span;
@@ -133,6 +134,9 @@ pub struct SimOutcome {
     pub cycles: CycleReport,
     /// Text printed by `fprintf`/`disp`.
     pub printed: String,
+    /// Per-source-span cycle attribution; `Some` only when the machine ran
+    /// with [`AsipMachine::with_profiling`] enabled.
+    pub profile: Option<Profile>,
 }
 
 /// Per-class cycle costs and availability, pre-resolved from an
@@ -167,6 +171,8 @@ pub struct AsipMachine {
     use_intrinsics: bool,
     /// Statement budget per `run`.
     fuel: u64,
+    /// Whether runs accumulate per-span cycle attribution.
+    profiling: bool,
 }
 
 impl AsipMachine {
@@ -184,6 +190,7 @@ impl AsipMachine {
             costs,
             use_intrinsics: true,
             fuel: 2_000_000_000,
+            profiling: false,
         }
     }
 
@@ -198,6 +205,14 @@ impl AsipMachine {
     /// non-terminating programs.
     pub fn with_fuel(mut self, fuel: u64) -> AsipMachine {
         self.fuel = fuel;
+        self
+    }
+
+    /// Enables per-source-span cycle attribution: [`SimOutcome::profile`]
+    /// becomes `Some` on subsequent runs. Profiling never changes cycle
+    /// totals — both engines charge identically with it on or off.
+    pub fn with_profiling(mut self, on: bool) -> AsipMachine {
+        self.profiling = on;
         self
     }
 
@@ -323,6 +338,13 @@ impl Simulator<'_> {
         self.machine.fuel = fuel;
         self
     }
+
+    /// Enables per-span cycle attribution (see
+    /// [`AsipMachine::with_profiling`]).
+    pub fn with_profiling(mut self, on: bool) -> Self {
+        self.machine.profiling = on;
+        self
+    }
 }
 
 enum Flow {
@@ -351,6 +373,12 @@ struct Exec<'a> {
     printed: String,
     fuel: u64,
     depth: u32,
+    /// Span of the statement/instruction currently being charged; every
+    /// dispatch sets it before any `charge` call, so the profile hook in
+    /// `charge` attributes to the right source location on both engines.
+    cur_span: Span,
+    /// `Some` when the machine was built `with_profiling(true)`.
+    profile: Option<Profile>,
 }
 
 type Env = Vec<Option<SimVal>>;
@@ -372,6 +400,8 @@ impl<'a> Exec<'a> {
             printed: String::new(),
             fuel: machine.fuel,
             depth: 0,
+            cur_span: Span::dummy(),
+            profile: machine.profiling.then(Profile::default),
         }
     }
 
@@ -388,6 +418,7 @@ impl<'a> Exec<'a> {
             outputs,
             cycles,
             printed: self.printed,
+            profile: self.profile,
         }
     }
 
@@ -405,6 +436,17 @@ impl<'a> Exec<'a> {
         self.instructions += count;
         self.by_class[class as usize] += c;
         self.touched |= 1 << class as usize;
+        if let Some(p) = &mut self.profile {
+            p.record(self.cur_span, class, c, count);
+        }
+    }
+
+    /// Records SIMD lane occupancy for the current span: `elems` useful
+    /// elements processed in `slots` issued lane slots.
+    fn note_lanes(&mut self, elems: u64, slots: u64) {
+        if let Some(p) = &mut self.profile {
+            p.record_lanes(self.cur_span, elems, slots);
+        }
     }
 
     fn burn(&mut self, span: Span) -> Result<(), SimError> {
@@ -631,6 +673,7 @@ impl<'a> Exec<'a> {
 
     fn exec_stmt(&mut self, f: &MirFunction, stmt: &Stmt, env: &mut Env) -> Result<Flow, SimError> {
         self.burn(Span::dummy())?;
+        self.cur_span = stmt.span();
         match stmt {
             Stmt::Def { dst, rv, span } => {
                 let val = self.eval_rvalue(f, env, *dst, rv, *span)?;
@@ -676,6 +719,7 @@ impl<'a> Exec<'a> {
                 cond,
                 then_body,
                 else_body,
+                ..
             } => {
                 self.charge(OpClass::Branch, 1);
                 let c = self.truthy(f, env, *cond)?;
@@ -691,7 +735,9 @@ impl<'a> Exec<'a> {
                 step,
                 stop,
                 body,
+                ..
             } => {
+                let loop_span = self.cur_span;
                 let span = Span::dummy();
                 let s = self.real_of(f, env, *start, span)?;
                 let st = self.real_of(f, env, *step, span)?;
@@ -703,6 +749,9 @@ impl<'a> Exec<'a> {
                 };
                 for k in 0..n {
                     self.burn(span)?;
+                    // Body statements moved `cur_span`; the per-iteration
+                    // control charges belong to the loop header line.
+                    self.cur_span = loop_span;
                     // Loop control: induction update + branch.
                     self.charge(OpClass::ScalarAlu, 1);
                     self.charge(OpClass::Branch, 1);
@@ -719,10 +768,13 @@ impl<'a> Exec<'a> {
                 cond_defs,
                 cond,
                 body,
+                ..
             } => {
+                let loop_span = self.cur_span;
                 loop {
                     self.burn(Span::dummy())?;
                     self.exec_block(f, cond_defs, env)?;
+                    self.cur_span = loop_span;
                     self.charge(OpClass::Branch, 1);
                     if !self.truthy(f, env, *cond)? {
                         break;
@@ -735,9 +787,9 @@ impl<'a> Exec<'a> {
                 }
                 Ok(Flow::Normal)
             }
-            Stmt::Break => Ok(Flow::Break),
-            Stmt::Continue => Ok(Flow::Continue),
-            Stmt::Return => Ok(Flow::Return),
+            Stmt::Break(_) => Ok(Flow::Break),
+            Stmt::Continue(_) => Ok(Flow::Continue),
+            Stmt::Return(_) => Ok(Flow::Return),
             Stmt::VectorOp(vop) => {
                 self.exec_vector_op(f, env, vop)?;
                 Ok(Flow::Normal)

@@ -90,6 +90,7 @@ impl<'a> Exec<'a> {
                     span,
                 } => {
                     self.burn(Span::dummy())?;
+                    self.cur_span = *span;
                     let val = self.eval_rvalue(f, env, *dst, rv, *span)?;
                     // Coerce to the register representation.
                     let val = if *scalar_dst {
@@ -113,6 +114,7 @@ impl<'a> Exec<'a> {
                     span,
                 } => {
                     self.burn(Span::dummy())?;
+                    self.cur_span = *span;
                     self.exec_store(f, env, *array, indices, *value, *span)?;
                     pc += 1;
                 }
@@ -124,16 +126,19 @@ impl<'a> Exec<'a> {
                     span,
                 } => {
                     self.burn(Span::dummy())?;
+                    self.cur_span = *span;
                     self.exec_call_multi(f, env, dsts, func, args, *user, *span)?;
                     pc += 1;
                 }
                 DInst::Effect { name, args, span } => {
                     self.burn(Span::dummy())?;
+                    self.cur_span = *span;
                     self.exec_effect(f, env, name, args, *span)?;
                     pc += 1;
                 }
                 DInst::VectorOp(vop) => {
                     self.burn(Span::dummy())?;
+                    self.cur_span = vop.span;
                     self.exec_vector_op(f, env, vop)?;
                     pc += 1;
                 }
@@ -142,10 +147,12 @@ impl<'a> Exec<'a> {
                     if_false,
                     burn,
                     exit_loop,
+                    span,
                 } => {
                     if *burn {
                         self.burn(Span::dummy())?;
                     }
+                    self.cur_span = *span;
                     self.charge(OpClass::Branch, 1);
                     if self.truthy(f, env, *cond)? {
                         pc += 1;
@@ -156,12 +163,13 @@ impl<'a> Exec<'a> {
                         pc = *if_false as usize;
                     }
                 }
-                DInst::Jump { target } => pc = *target as usize,
+                DInst::Jump { target, .. } => pc = *target as usize,
                 DInst::ForSetup {
                     var,
                     start,
                     step,
                     stop,
+                    ..
                 } => {
                     self.burn(Span::dummy())?;
                     let span = Span::dummy();
@@ -182,7 +190,7 @@ impl<'a> Exec<'a> {
                     });
                     pc += 1;
                 }
-                DInst::ForNext { end } => {
+                DInst::ForNext { end, span } => {
                     let Some(Frame::For { var, s, st, n, k }) = frames.last_mut() else {
                         unreachable!("ForNext without a for frame");
                     };
@@ -193,6 +201,7 @@ impl<'a> Exec<'a> {
                         let (var, value) = (*var, *s + *st * *k as f64);
                         *k += 1;
                         self.burn(Span::dummy())?;
+                        self.cur_span = *span;
                         // Loop control: induction update + branch.
                         self.charge(OpClass::ScalarAlu, 1);
                         self.charge(OpClass::Branch, 1);
@@ -200,25 +209,25 @@ impl<'a> Exec<'a> {
                         pc += 1;
                     }
                 }
-                DInst::WhileEnter => {
+                DInst::WhileEnter { .. } => {
                     self.burn(Span::dummy())?;
                     frames.push(Frame::While);
                     pc += 1;
                 }
-                DInst::WhileIter => {
+                DInst::WhileIter { .. } => {
                     self.burn(Span::dummy())?;
                     pc += 1;
                 }
-                DInst::Break { target } => {
+                DInst::Break { target, .. } => {
                     self.burn(Span::dummy())?;
                     frames.pop();
                     pc = *target as usize;
                 }
-                DInst::Continue { target } => {
+                DInst::Continue { target, .. } => {
                     self.burn(Span::dummy())?;
                     pc = *target as usize;
                 }
-                DInst::Return => {
+                DInst::Return { .. } => {
                     self.burn(Span::dummy())?;
                     break;
                 }

@@ -502,6 +502,7 @@ impl<'a> Exec<'a> {
         if simd_ok && self.supports(class) {
             // Whole SIMD words per issue, plus vector load/store traffic.
             let words = len.div_ceil(w);
+            self.note_lanes(len, words * w);
             self.charge(OpClass::VectorLoad, words * inputs);
             self.charge(class, words);
             if has_store {

@@ -1,136 +1,29 @@
 //! The six DSP benchmark kernels, written in the MATLAB subset the
 //! compiler accepts — the workload set of the paper's evaluation
 //! ("six DSP benchmarks", abstract).
+//!
+//! The sources live as plain `.m` files under `benchmarks/` at the repo
+//! root, so the `matic` CLI (and the CI profiling job) can compile the
+//! exact same programs the Rust suite embeds.
 
 /// 64-tap FIR filter — multiply-accumulate over a sliding window.
-pub const FIR: &str = r#"
-function y = fir(x, h)
-% FIR filter: y(k) = sum_t h(t) * x(k - t + 1)
-n = length(x);
-m = length(h);
-y = zeros(1, n);
-for k = 1:n
-    acc = 0;
-    hi = min(k, m);
-    for t = 1:hi
-        acc = acc + h(t) * x(k - t + 1);
-    end
-    y(k) = acc;
-end
-end
-"#;
+pub const FIR: &str = include_str!("../../../benchmarks/fir.m");
 
 /// Direct-form IIR filter — a recurrence whose feedback loop cannot be
 /// vectorized (the paper's low-speedup anchor).
-pub const IIR: &str = r#"
-function y = iir(x, b, a)
-% Direct-form IIR: a(1)*y(k) = sum b(t) x(k-t+1) - sum a(t) y(k-t+1)
-n = length(x);
-nb = length(b);
-na = length(a);
-ga = -a;
-y = zeros(1, n);
-for k = 1:n
-    acc = 0;
-    hb = min(k, nb);
-    for t = 1:hb
-        acc = acc + b(t) * x(k - t + 1);
-    end
-    ha = min(k, na);
-    for t = 2:ha
-        acc = acc + ga(t) * y(k - t + 1);
-    end
-    y(k) = acc / a(1);
-end
-end
-"#;
+pub const IIR: &str = include_str!("../../../benchmarks/iir.m");
 
 /// Complex vector multiply (mixer) — exercises the complex-arithmetic
 /// custom instructions.
-pub const CMULT: &str = r#"
-function y = cmult(x, w)
-% Point-wise complex mix: y = x .* w
-y = x .* w;
-end
-"#;
+pub const CMULT: &str = include_str!("../../../benchmarks/cmult.m");
 
 /// Iterative radix-2 complex FFT, written in MATLAB's vectorized style:
 /// each butterfly pass works on whole slices, which the compiler maps to
 /// strided complex SIMD custom instructions.
-pub const FFT: &str = r#"
-function y = fft_r2(x)
-% In-place iterative radix-2 decimation-in-time FFT; length(x) must be a
-% power of two.
-n = length(x);
-y = x;
-% Bit-reversal permutation.
-j = 1;
-for i = 1:n-1
-    if i < j
-        tmp = y(j);
-        y(j) = y(i);
-        y(i) = tmp;
-    end
-    k = n / 2;
-    while k < j
-        j = j - k;
-        k = k / 2;
-    end
-    j = j + k;
-end
-% Twiddle table, computed once: wtab(k) = exp(-2*pi*1i*(k-1)/n).
-halfn = n / 2;
-wtab = exp(1i * ((0:halfn-1) * (-2 * pi / n)));
-% Butterfly passes over whole slices (vectorized MATLAB style).
-len = 2;
-while len <= n
-    half = len / 2;
-    stride = n / len;
-    w = wtab(1:stride:halfn);
-    s = 1;
-    while s <= n
-        u = y(s:s+half-1);
-        v = y(s+half:s+len-1) .* w;
-        y(s:s+half-1) = u + v;
-        y(s+half:s+len-1) = u - v;
-        s = s + len;
-    end
-    len = len * 2;
-end
-end
-"#;
+pub const FFT: &str = include_str!("../../../benchmarks/fft.m");
 
 /// Matrix multiply, written in MATLAB's vectorized style.
-pub const MATMUL: &str = r#"
-function c = matmul(a, b)
-% c = a * b via row-by-column dot products.
-[n, m] = size(a);
-[m2, p] = size(b);
-c = zeros(n, p);
-for i = 1:n
-    ra = a(i, :);
-    for j = 1:p
-        cb = b(:, j);
-        c(i, j) = sum(ra .* cb');
-    end
-end
-end
-"#;
+pub const MATMUL: &str = include_str!("../../../benchmarks/matmul.m");
 
 /// Cross-correlation over a lag window.
-pub const XCORR: &str = r#"
-function r = xcorr_k(x, y, maxlag)
-% r(lag + maxlag + 1) = sum_t x(t + lag) * y(t)
-n = length(x);
-r = zeros(1, 2 * maxlag + 1);
-for lag = -maxlag:maxlag
-    acc = 0;
-    lo = max(1, 1 - lag);
-    hi = min(n, n - lag);
-    for t = lo:hi
-        acc = acc + x(t + lag) * y(t);
-    end
-    r(lag + maxlag + 1) = acc;
-end
-end
-"#;
+pub const XCORR: &str = include_str!("../../../benchmarks/xcorr.m");

@@ -5,7 +5,7 @@
 //!       [--baseline] [-o <dir>]        compile to C (+ runtime headers)
 //! matic mir     <file.m> --entry <fn> --sig <spec>   dump optimized MIR
 //! matic cycles  <file.m> --entry <fn> --sig <spec>   baseline-vs-optimized
-//!       [--n <size>]                                  cycle comparison
+//!       [--n <size>] [--profile] [--profile-json <p>] cycle comparison
 //! matic targets [--dump <name>]                       list/export targets
 //! ```
 //!
@@ -49,10 +49,15 @@ const USAGE: &str = "usage:
   matic compile <file.m> --entry <fn> --sig <spec> [--target <json>] [--baseline] [-o <dir>]
   matic mir     <file.m> --entry <fn> --sig <spec> [--target <json>]
   matic cycles  <file.m> --entry <fn> --sig <spec> [--target <json>] [--seed <k>] [--max-cycles <N>]
+                [--profile] [--profile-json <path>]
   matic targets [--dump <name>]
 sig spec: s | cs | v<N> | cv<N> | m<R>x<C>, comma-separated (e.g. v1024,v64)
 --max-cycles caps the simulated step budget (default 100000000); runaway
-programs stop with a fuel-exhaustion diagnostic instead of hanging";
+programs stop with a fuel-exhaustion diagnostic instead of hanging
+--profile prints a per-source-line cycle report for the optimized build;
+--profile-json writes the same data as a matic-profile-v1 JSON document
+--trace-passes (any command) prints per-pass wall-time and the
+vectorizer's per-loop accept/reject decisions on stderr";
 
 /// Parsed common options.
 struct Opts {
@@ -64,6 +69,9 @@ struct Opts {
     out_dir: String,
     seed: u64,
     max_cycles: u64,
+    profile: bool,
+    profile_json: Option<String>,
+    trace_passes: bool,
 }
 
 /// Default simulation step budget for the CLI: large enough for any real
@@ -79,6 +87,9 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut out_dir = "matic_out".to_string();
     let mut seed = 1u64;
     let mut max_cycles = DEFAULT_MAX_CYCLES;
+    let mut profile = false;
+    let mut profile_json = None;
+    let mut trace_passes = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -92,6 +103,9 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                 target.validate()?;
             }
             "--baseline" => baseline = true,
+            "--profile" => profile = true,
+            "--profile-json" => profile_json = Some(next(&mut it, "--profile-json")?),
+            "--trace-passes" => trace_passes = true,
             "-o" | "--out" => out_dir = next(&mut it, "-o")?,
             "--seed" => {
                 seed = next(&mut it, "--seed")?
@@ -119,6 +133,9 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         out_dir,
         seed,
         max_cycles,
+        profile,
+        profile_json,
+        trace_passes,
     })
 }
 
@@ -163,29 +180,85 @@ fn parse_sig(spec: &str) -> Result<Vec<Ty>, String> {
         .collect()
 }
 
-fn compile_with(opts: &Opts) -> Result<matic::Compiled, String> {
-    let src = std::fs::read_to_string(&opts.file)
-        .map_err(|e| format!("cannot read `{}`: {e}", opts.file))?;
+fn read_source(opts: &Opts) -> Result<String, String> {
+    std::fs::read_to_string(&opts.file).map_err(|e| format!("cannot read `{}`: {e}", opts.file))
+}
+
+fn compile_src(opts: &Opts, src: &str) -> Result<matic::Compiled, String> {
     let level = if opts.baseline {
         OptLevel::baseline()
     } else {
         OptLevel::full()
     };
-    Compiler::new()
+    let compiled = Compiler::new()
         .target(opts.target.clone())
         .opt_level(level)
-        .compile(&src, &opts.entry, &opts.sig)
-        .map_err(|e| e.to_string())
+        .compile(src, &opts.entry, &opts.sig)
+        .map_err(|e| e.to_string())?;
+    if opts.trace_passes {
+        trace_passes(&compiled, &opts.file, src);
+    }
+    Ok(compiled)
+}
+
+fn compile_with(opts: &Opts) -> Result<matic::Compiled, String> {
+    let src = read_source(opts)?;
+    compile_src(opts, &src)
+}
+
+/// Prints per-pass wall-time and the vectorizer's per-loop decisions on
+/// stderr (stdout stays reserved for the command's normal output).
+fn trace_passes(compiled: &matic::Compiled, file: &str, src: &str) {
+    for t in &compiled.timings {
+        eprintln!(
+            "trace: pass {:<9} {:>9.3} ms",
+            t.name,
+            t.duration.as_secs_f64() * 1e3
+        );
+    }
+    let map = matic_frontend::span::SourceMap::new(src);
+    for d in &compiled.report.loops.decisions {
+        let pos = map.line_col(d.span.start);
+        if d.accepted {
+            eprintln!(
+                "trace: vectorize {file}:{pos}: vectorized loop ({}) at {}",
+                d.detail, d.span
+            );
+        } else {
+            eprintln!(
+                "trace: vectorize {file}:{pos}: loop not vectorized: {} at {}",
+                d.detail, d.span
+            );
+        }
+    }
+}
+
+fn reject_profile_flags(opts: &Opts, cmd: &str) -> Result<(), String> {
+    if opts.profile || opts.profile_json.is_some() {
+        return Err(format!(
+            "--profile/--profile-json apply to `cycles`, not `{cmd}`"
+        ));
+    }
+    Ok(())
 }
 
 fn cmd_compile(args: &[String]) -> Result<(), String> {
     let opts = parse_opts(args)?;
+    reject_profile_flags(&opts, "compile")?;
     let compiled = compile_with(&opts)?;
     let dir = Path::new(&opts.out_dir);
     let path = matic_codegen::write_module(dir, &compiled.c, None)
         .map_err(|e| format!("cannot write output: {e}"))?;
+    let r = &compiled.report;
     println!("target      : {}", compiled.spec);
-    println!("vectorizer  : {:?}", compiled.report);
+    println!(
+        "vectorizer  : loops {} accepted / {} rejected, array ops {}, macs fused {}, slices forwarded {}",
+        r.loops.maps + r.loops.macs + r.loops.reductions,
+        r.loops.rejected,
+        r.arrays.maps + r.arrays.reductions + r.arrays.copies,
+        r.fuse.macs_fused,
+        r.forward.inputs_forwarded + r.forward.outputs_forwarded,
+    );
     println!("wrote       : {}", path.display());
     println!("              {}", dir.join("matic_rt.h").display());
     println!("              {}", dir.join("matic_intrinsics.h").display());
@@ -194,6 +267,7 @@ fn cmd_compile(args: &[String]) -> Result<(), String> {
 
 fn cmd_mir(args: &[String]) -> Result<(), String> {
     let opts = parse_opts(args)?;
+    reject_profile_flags(&opts, "mir")?;
     let compiled = compile_with(&opts)?;
     print!("{}", compiled.mir_dump());
     Ok(())
@@ -201,14 +275,24 @@ fn cmd_mir(args: &[String]) -> Result<(), String> {
 
 fn cmd_cycles(args: &[String]) -> Result<(), String> {
     let opts = parse_opts(args)?;
-    let optimized = compile_with(&Opts {
-        baseline: false,
-        ..clone_opts(&opts)
-    })?;
-    let baseline = compile_with(&Opts {
-        baseline: true,
-        ..clone_opts(&opts)
-    })?;
+    let src = read_source(&opts)?;
+    let optimized = compile_src(
+        &Opts {
+            baseline: false,
+            ..clone_opts(&opts)
+        },
+        &src,
+    )?;
+    let baseline = compile_src(
+        &Opts {
+            baseline: true,
+            // Pass traces for the optimized build only; the baseline
+            // pipeline never vectorizes and would just repeat timings.
+            trace_passes: false,
+            ..clone_opts(&opts)
+        },
+        &src,
+    )?;
     // Deterministic stimulus derived from the signature.
     let inputs: Vec<SimVal> = opts
         .sig
@@ -216,6 +300,7 @@ fn cmd_cycles(args: &[String]) -> Result<(), String> {
         .enumerate()
         .map(|(k, t)| synth_input(t, opts.seed.wrapping_add(k as u64)))
         .collect();
+    let want_profile = opts.profile || opts.profile_json.is_some();
     let rb = baseline
         .simulator()
         .with_fuel(opts.max_cycles)
@@ -224,6 +309,7 @@ fn cmd_cycles(args: &[String]) -> Result<(), String> {
     let ro = optimized
         .simulator()
         .with_fuel(opts.max_cycles)
+        .with_profiling(want_profile)
         .run(inputs)
         .map_err(|e| e.to_string())?;
     println!("target    : {}", optimized.spec);
@@ -235,6 +321,21 @@ fn cmd_cycles(args: &[String]) -> Result<(), String> {
     );
     println!("\ncycle breakdown (optimized):");
     print!("{}", ro.cycles);
+    if let Some(profile) = &ro.profile {
+        let map = matic_frontend::span::SourceMap::new(src.as_str());
+        if opts.profile {
+            println!();
+            print!("{}", profile.render_text(&map, &opts.entry));
+        }
+        if let Some(path) = &opts.profile_json {
+            let doc = profile.to_json(&map, &opts.entry, &optimized.spec.name);
+            let mut text = doc.pretty();
+            text.push('\n');
+            std::fs::write(path, text)
+                .map_err(|e| format!("cannot write profile `{path}`: {e}"))?;
+            println!("\nprofile   : wrote {path}");
+        }
+    }
     Ok(())
 }
 
@@ -248,6 +349,9 @@ fn clone_opts(o: &Opts) -> Opts {
         out_dir: o.out_dir.clone(),
         seed: o.seed,
         max_cycles: o.max_cycles,
+        profile: o.profile,
+        profile_json: o.profile_json.clone(),
+        trace_passes: o.trace_passes,
     }
 }
 

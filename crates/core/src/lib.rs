@@ -38,11 +38,14 @@
 
 pub mod pipeline;
 
-pub use matic_asip::{AsipMachine, CycleReport, SimError, SimErrorKind, SimOutcome, SimVal};
+pub use matic_asip::{
+    AsipMachine, CycleReport, Profile, SimError, SimErrorKind, SimOutcome, SimVal, SpanCounters,
+    PROFILE_SCHEMA,
+};
 pub use matic_codegen::{CModule, CValue, CodegenOptions, Harness};
-pub use matic_frontend::{parse, Program};
+pub use matic_frontend::{parse, Program, SourceMap, Span};
 pub use matic_interp::{Cx, Interpreter, Matrix, RuntimeError, Value};
 pub use matic_isa::{CostModel, Features, IsaSpec, OpClass};
 pub use matic_sema::{Class, Dim, Shape, Ty};
-pub use matic_vectorize::VectorizeReport;
-pub use pipeline::{arg, CompileError, Compiled, Compiler, OptLevel};
+pub use matic_vectorize::{LoopDecision, VectorizeReport};
+pub use pipeline::{arg, CompileError, Compiled, Compiler, OptLevel, PassTiming};

@@ -10,6 +10,7 @@ use matic_sema::{Analysis, Ty};
 use matic_vectorize::VectorizeReport;
 use std::fmt;
 use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
 
 /// Any failure along the compilation pipeline.
 #[derive(Debug, Clone, PartialEq)]
@@ -70,6 +71,16 @@ impl OptLevel {
             intrinsics: false,
         }
     }
+}
+
+/// Wall-clock timing of one compiler pass, recorded during
+/// [`Compiler::compile`] and surfaced by `matic --trace-passes`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PassTiming {
+    /// Pass name (`parse`, `sema`, `lower`, …).
+    pub name: &'static str,
+    /// Time spent in the pass.
+    pub duration: Duration,
 }
 
 /// A fluent front door to the compiler.
@@ -138,11 +149,16 @@ impl Compiler {
         entry: &str,
         arg_types: &[Ty],
     ) -> Result<Compiled, CompileError> {
+        let t0 = Instant::now();
         let (program, diags) = matic_frontend::parse(src);
+        let parse_time = PassTiming {
+            name: "parse",
+            duration: t0.elapsed(),
+        };
         if let Some(d) = diags.first_error() {
             return Err(CompileError::Parse(d.clone()));
         }
-        self.compile_program(program, entry, arg_types)
+        self.compile_timed(program, entry, arg_types, vec![parse_time])
     }
 
     /// Compiles an already-parsed program.
@@ -156,25 +172,52 @@ impl Compiler {
         entry: &str,
         arg_types: &[Ty],
     ) -> Result<Compiled, CompileError> {
+        self.compile_timed(program, entry, arg_types, Vec::new())
+    }
+
+    fn compile_timed(
+        &self,
+        program: Program,
+        entry: &str,
+        arg_types: &[Ty],
+        mut timings: Vec<PassTiming>,
+    ) -> Result<Compiled, CompileError> {
+        let mut time = |name: &'static str, t0: Instant| {
+            timings.push(PassTiming {
+                name,
+                duration: t0.elapsed(),
+            });
+        };
+        let t0 = Instant::now();
         let analysis = matic_sema::analyze(&program, entry, arg_types);
+        time("sema", t0);
         if let Some(d) = analysis.diags.first_error() {
             return Err(CompileError::Sema(d.clone()));
         }
+        let t0 = Instant::now();
         let (mut mir, diags) = matic_mir::lower_program(&program, &analysis);
+        time("lower", t0);
         if let Some(d) = diags.first_error() {
             return Err(CompileError::Lower(d.clone()));
         }
         if self.opt.scalar_opts {
+            let t0 = Instant::now();
             matic_mir::optimize_program(&mut mir);
+            time("optimize", t0);
         }
         if self.opt.inline {
+            let t0 = Instant::now();
             matic_mir::inline_program(&mut mir, matic_mir::DEFAULT_INLINE_LIMIT);
             if self.opt.scalar_opts {
                 matic_mir::optimize_program(&mut mir);
             }
+            time("inline", t0);
         }
         let report = if self.opt.vectorize {
-            matic_vectorize::vectorize_program(&mut mir)
+            let t0 = Instant::now();
+            let report = matic_vectorize::vectorize_program(&mut mir);
+            time("vectorize", t0);
+            report
         } else {
             VectorizeReport::default()
         };
@@ -184,9 +227,11 @@ impl Compiler {
                 use_intrinsics: self.opt.intrinsics,
             },
         );
+        let t0 = Instant::now();
         let c = backend
             .generate(&mir)
             .map_err(|e| CompileError::Codegen(e.to_string()))?;
+        time("codegen", t0);
         Ok(Compiled {
             entry: entry.to_string(),
             ast: program,
@@ -196,6 +241,7 @@ impl Compiler {
             c,
             spec: Arc::clone(&self.spec),
             opt: self.opt,
+            timings,
             decoded: OnceLock::new(),
         })
     }
@@ -222,6 +268,9 @@ pub struct Compiled {
     pub spec: Arc<IsaSpec>,
     /// The optimization level the module was compiled at.
     pub opt: OptLevel,
+    /// Wall-clock time per pass (empty when built from an already-parsed
+    /// program without timings).
+    pub timings: Vec<PassTiming>,
     /// Lazily-built pre-decoded instruction streams for the simulator;
     /// filled on the first [`Compiled::simulator`]/[`Compiled::simulate`]
     /// call and shared by all subsequent ones.

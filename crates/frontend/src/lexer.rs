@@ -232,11 +232,11 @@ impl<'s> Lexer<'s> {
                 0.0
             }
         };
-        // Imaginary suffix. Only applies when not followed by more
-        // identifier characters (`2in` is `2 * in`? no — it's invalid; we
-        // treat `i`/`j` + ident-char as separate tokens is wrong, MATLAB
-        // rejects it; we accept the suffix only when the next char cannot
-        // continue an identifier).
+        // Imaginary suffix: a lone `i`/`j` that no identifier character
+        // continues. Any other identifier characters glued to the literal
+        // (`2in`, `3i4`, `2x`) are invalid — MATLAB rejects them — so
+        // diagnose instead of silently re-tokenizing the tail as an
+        // identifier.
         if matches!(self.peek(), Some(b'i') | Some(b'j'))
             && !self
                 .peek_at(1)
@@ -244,6 +244,25 @@ impl<'s> Lexer<'s> {
         {
             self.pos += 1;
             self.push(TokenKind::Imaginary(value), start);
+        } else if self
+            .peek()
+            .is_some_and(|b| b.is_ascii_alphabetic() || b == b'_')
+        {
+            let tail_start = self.pos;
+            while self
+                .peek()
+                .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+            {
+                self.pos += 1;
+            }
+            self.diags.push(Diagnostic::error(
+                format!(
+                    "invalid imaginary suffix `{}` on numeric literal `{text}`",
+                    &self.src[tail_start..self.pos]
+                ),
+                Span::new(start as u32, self.pos as u32),
+            ));
+            self.push(TokenKind::Number(value), start);
         } else {
             self.push(TokenKind::Number(value), start);
         }
@@ -457,6 +476,38 @@ mod tests {
                 TokenKind::Eof,
             ]
         );
+    }
+
+    #[test]
+    fn imaginary_suffix_accepted() {
+        assert!(kinds("z = 2i;").contains(&TokenKind::Imaginary(2.0)));
+        assert!(kinds("z = 2j;").contains(&TokenKind::Imaginary(2.0)));
+        assert!(kinds("z = 1e3i;").contains(&TokenKind::Imaginary(1000.0)));
+    }
+
+    #[test]
+    fn ident_tail_on_number_is_diagnosed() {
+        for (src, tail, lit) in [
+            ("x = 2in;", "in", "2"),
+            ("x = 3i4;", "i4", "3"),
+            ("x = 2x;", "x", "2"),
+        ] {
+            let (_, diags) = lex(src);
+            assert!(diags.has_errors(), "`{src}` must fail to lex");
+            let msg = diags.into_vec()[0].message.clone();
+            assert_eq!(
+                msg,
+                format!("invalid imaginary suffix `{tail}` on numeric literal `{lit}`"),
+                "for `{src}`"
+            );
+        }
+    }
+
+    #[test]
+    fn ident_tail_diagnostic_spans_whole_literal() {
+        let (_, diags) = lex("x = 2in;");
+        let d = &diags.into_vec()[0];
+        assert_eq!((d.span.start, d.span.end), (4, 7));
     }
 
     #[test]

@@ -228,6 +228,9 @@ impl Parser<'_> {
         loop {
             self.skip_ws();
             let key = self.string()?;
+            if fields.iter().any(|(k, _)| *k == key) {
+                return self.err(&format!("duplicate key `{key}` in object"));
+            }
             self.skip_ws();
             self.eat(b':')?;
             self.skip_ws();
@@ -360,6 +363,18 @@ mod tests {
         assert!(parse("{\"a\": 1,}").is_err());
         assert!(parse("[1 2]").is_err());
         assert!(parse("{\"a\": 1} x").is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_keys_naming_the_key() {
+        let err = parse("{\"mac\": 1, \"mac\": 2}").unwrap_err();
+        assert!(
+            err.contains("duplicate key `mac`"),
+            "error must name the key: {err}"
+        );
+        // Nested objects are checked too; sibling objects may repeat keys.
+        assert!(parse("{\"a\": {\"k\": 1, \"k\": 2}}").is_err());
+        assert!(parse("{\"a\": {\"k\": 1}, \"b\": {\"k\": 2}}").is_ok());
     }
 
     #[test]

@@ -261,6 +261,16 @@ impl IsaSpec {
         let features = doc
             .get("features")
             .ok_or_else(|| "missing field `features`".to_string())?;
+        match features {
+            Json::Obj(fields) => {
+                for (key, _) in fields {
+                    if !matches!(key.as_str(), "simd" | "complex" | "mac") {
+                        return Err(format!("unknown feature `{key}` in features"));
+                    }
+                }
+            }
+            _ => return Err("`features` must be an object".to_string()),
+        }
         let flag = |key: &str| -> Result<bool, String> {
             features
                 .get(key)
@@ -415,6 +425,40 @@ mod tests {
     #[test]
     fn malformed_json_errors() {
         assert!(IsaSpec::from_json("{not json").is_err());
+    }
+
+    #[test]
+    fn unknown_feature_is_rejected_by_name() {
+        let json = IsaSpec::dsp16()
+            .to_json()
+            .replace("\"mac\": true", "\"mac\": true,\n    \"fma\": true");
+        let err = IsaSpec::from_json(&json).unwrap_err();
+        assert_eq!(err, "unknown feature `fma` in features");
+    }
+
+    #[test]
+    fn duplicate_cost_entry_is_rejected_by_name() {
+        let json = IsaSpec::dsp16().to_json();
+        assert!(json.contains("\"scalar_mul\": 2"), "fixture drifted");
+        let json = json.replace(
+            "\"scalar_mul\": 2",
+            "\"scalar_mul\": 2,\n      \"scalar_mul\": 3",
+        );
+        let err = IsaSpec::from_json(&json).unwrap_err();
+        assert!(
+            err.contains("duplicate key `scalar_mul`"),
+            "error must name the duplicated key: {err}"
+        );
+    }
+
+    #[test]
+    fn duplicate_feature_entry_is_rejected() {
+        let json = IsaSpec::dsp16()
+            .to_json()
+            .replace("\"mac\": true", "\"mac\": true,\n    \"mac\": true");
+        assert!(IsaSpec::from_json(&json)
+            .unwrap_err()
+            .contains("duplicate key `mac`"));
     }
 
     #[test]

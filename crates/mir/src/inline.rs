@@ -44,7 +44,7 @@ fn inlinable(callee: &MirFunction, limit: usize) -> bool {
     }
     let mut ok = true;
     walk_stmts(&callee.body, &mut |s| match s {
-        Stmt::Return => ok = false,
+        Stmt::Return(_) => ok = false,
         Stmt::Def {
             rv: Rvalue::Call { .. },
             ..
@@ -265,6 +265,7 @@ fn remap_body(stmts: &mut [Stmt], remap: &HashMap<VarId, VarId>) {
                 cond,
                 then_body,
                 else_body,
+                ..
             } => {
                 remap_op(cond, remap);
                 remap_body(then_body, remap);
@@ -276,6 +277,7 @@ fn remap_body(stmts: &mut [Stmt], remap: &HashMap<VarId, VarId>) {
                 step,
                 stop,
                 body,
+                ..
             } => {
                 *var = remap[var];
                 remap_op(start, remap);
@@ -287,6 +289,7 @@ fn remap_body(stmts: &mut [Stmt], remap: &HashMap<VarId, VarId>) {
                 cond_defs,
                 cond,
                 body,
+                ..
             } => {
                 remap_body(cond_defs, remap);
                 remap_op(cond, remap);
@@ -300,7 +303,7 @@ fn remap_body(stmts: &mut [Stmt], remap: &HashMap<VarId, VarId>) {
                 }
                 remap_op(&mut vop.len, remap);
             }
-            Stmt::Break | Stmt::Continue | Stmt::Return => {}
+            Stmt::Break(_) | Stmt::Continue(_) | Stmt::Return(_) => {}
         }
     }
 }

@@ -308,6 +308,8 @@ pub enum Stmt {
         then_body: Vec<Stmt>,
         /// Taken when false.
         else_body: Vec<Stmt>,
+        /// Source location of the `if` header.
+        span: Span,
     },
     /// Counted loop `for var = start : step : stop`.
     For {
@@ -321,6 +323,8 @@ pub enum Stmt {
         stop: Operand,
         /// Loop body.
         body: Vec<Stmt>,
+        /// Source location of the `for` header.
+        span: Span,
     },
     /// `while`: `cond_defs` re-evaluate the condition each iteration.
     While {
@@ -330,15 +334,34 @@ pub enum Stmt {
         cond: Operand,
         /// Loop body.
         body: Vec<Stmt>,
+        /// Source location of the `while` header.
+        span: Span,
     },
     /// Loop break.
-    Break,
+    Break(Span),
     /// Loop continue.
-    Continue,
+    Continue(Span),
     /// Early function return.
-    Return,
+    Return(Span),
     /// A vectorized operation (inserted by `matic-vectorize`).
     VectorOp(VectorOp),
+}
+
+impl Stmt {
+    /// The source location this statement was lowered from.
+    pub fn span(&self) -> Span {
+        match self {
+            Stmt::Def { span, .. }
+            | Stmt::Store { span, .. }
+            | Stmt::CallMulti { span, .. }
+            | Stmt::Effect { span, .. }
+            | Stmt::If { span, .. }
+            | Stmt::For { span, .. }
+            | Stmt::While { span, .. } => *span,
+            Stmt::Break(span) | Stmt::Continue(span) | Stmt::Return(span) => *span,
+            Stmt::VectorOp(vop) => vop.span,
+        }
+    }
 }
 
 /// A lowered function.
@@ -354,6 +377,8 @@ pub struct MirFunction {
     pub vars: Vec<VarInfo>,
     /// Body statements.
     pub body: Vec<Stmt>,
+    /// Span of the source `function` header line.
+    pub span: Span,
 }
 
 impl MirFunction {
@@ -365,6 +390,7 @@ impl MirFunction {
             outputs: Vec::new(),
             vars: Vec::new(),
             body: Vec::new(),
+            span: Span::dummy(),
         }
     }
 
@@ -569,7 +595,7 @@ pub fn visit_stmt_operands(stmt: &Stmt, visit: &mut dyn FnMut(&Operand)) {
             }
             visit(&vop.len);
         }
-        Stmt::Break | Stmt::Continue | Stmt::Return => {}
+        Stmt::Break(_) | Stmt::Continue(_) | Stmt::Return(_) => {}
     }
 }
 
@@ -595,8 +621,9 @@ mod tests {
         let c = f.add_var("c", Ty::double_scalar());
         f.body.push(Stmt::If {
             cond: Operand::Var(c),
-            then_body: vec![Stmt::Return, Stmt::Break],
-            else_body: vec![Stmt::Continue],
+            then_body: vec![Stmt::Return(Span::dummy()), Stmt::Break(Span::dummy())],
+            else_body: vec![Stmt::Continue(Span::dummy())],
+            span: Span::dummy(),
         });
         assert_eq!(f.stmt_count(), 4);
     }
@@ -610,7 +637,8 @@ mod tests {
             start: Operand::Const(1.0),
             step: Operand::Const(1.0),
             stop: Operand::Const(8.0),
-            body: vec![Stmt::Return],
+            body: vec![Stmt::Return(Span::dummy())],
+            span: Span::dummy(),
         });
         let mut n = 0;
         walk_stmts(&f.body, &mut |_| n += 1);

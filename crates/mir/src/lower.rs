@@ -54,7 +54,11 @@ pub fn lower_function(
     collect_assigned(&func.body, &mut assigned);
 
     let mut lx = Lowerer {
-        func: MirFunction::new(func.name.clone()),
+        func: {
+            let mut f = MirFunction::new(func.name.clone());
+            f.span = func.span;
+            f
+        },
         program,
         analysis,
         info,
@@ -203,15 +207,17 @@ impl<'a> Lowerer<'a> {
                 });
             }
             ast::Stmt::If {
-                arms, else_body, ..
-            } => self.lower_if(arms, else_body.as_deref()),
+                arms,
+                else_body,
+                span,
+            } => self.lower_if(arms, else_body.as_deref(), *span),
             ast::Stmt::For {
                 var,
                 iter,
                 body,
                 span,
             } => self.lower_for(var, iter, body, *span),
-            ast::Stmt::While { cond, body, .. } => {
+            ast::Stmt::While { cond, body, span } => {
                 let mut cond_op = Operand::Const(0.0);
                 let cond_defs = self.capture(|lx| {
                     cond_op = lx.lower_cond(cond);
@@ -225,11 +231,12 @@ impl<'a> Lowerer<'a> {
                     cond_defs,
                     cond: cond_op,
                     body: body_stmts,
+                    span: *span,
                 });
             }
-            ast::Stmt::Break(_) => self.emit(Stmt::Break),
-            ast::Stmt::Continue(_) => self.emit(Stmt::Continue),
-            ast::Stmt::Return(_) => self.emit(Stmt::Return),
+            ast::Stmt::Break(span) => self.emit(Stmt::Break(*span)),
+            ast::Stmt::Continue(span) => self.emit(Stmt::Continue(*span)),
+            ast::Stmt::Return(span) => self.emit(Stmt::Return(*span)),
             ast::Stmt::Global { span, .. } => {
                 self.diags.warning(
                     "`global` is not supported in compiled functions; treated as empty locals",
@@ -314,7 +321,12 @@ impl<'a> Lowerer<'a> {
         }
     }
 
-    fn lower_if(&mut self, arms: &[(Expr, Vec<ast::Stmt>)], else_body: Option<&[ast::Stmt]>) {
+    fn lower_if(
+        &mut self,
+        arms: &[(Expr, Vec<ast::Stmt>)],
+        else_body: Option<&[ast::Stmt]>,
+        span: Span,
+    ) {
         let Some(((cond, body), rest)) = arms.split_first() else {
             if let Some(b) = else_body {
                 for s in b {
@@ -330,12 +342,13 @@ impl<'a> Lowerer<'a> {
             }
         });
         let else_stmts = self.capture(|lx| {
-            lx.lower_if(rest, else_body);
+            lx.lower_if(rest, else_body, span);
         });
         self.emit(Stmt::If {
             cond: c,
             then_body,
             else_body: else_stmts,
+            span,
         });
     }
 
@@ -362,6 +375,7 @@ impl<'a> Lowerer<'a> {
                 step: st,
                 stop: e,
                 body: body_stmts,
+                span,
             });
             return;
         }
@@ -386,6 +400,7 @@ impl<'a> Lowerer<'a> {
                 step: Operand::Const(1.0),
                 stop: Operand::Const(1.0),
                 body: body_stmts,
+                span,
             });
             return;
         };
@@ -419,6 +434,7 @@ impl<'a> Lowerer<'a> {
             step: Operand::Const(1.0),
             stop: n,
             body: body_stmts,
+            span,
         });
     }
 
@@ -695,6 +711,7 @@ impl<'a> Lowerer<'a> {
             cond: a,
             then_body,
             else_body,
+            span,
         });
         Operand::Var(result)
     }

@@ -309,6 +309,7 @@ fn rewrite_operands(stmts: &mut [Stmt], rewrite: &mut dyn FnMut(&mut Operand)) {
                 cond,
                 then_body,
                 else_body,
+                ..
             } => {
                 rewrite(cond);
                 rewrite_operands(then_body, rewrite);
@@ -330,6 +331,7 @@ fn rewrite_operands(stmts: &mut [Stmt], rewrite: &mut dyn FnMut(&mut Operand)) {
                 cond_defs,
                 cond,
                 body,
+                ..
             } => {
                 rewrite_operands(cond_defs, rewrite);
                 rewrite(cond);
@@ -353,7 +355,7 @@ fn rewrite_operands(stmts: &mut [Stmt], rewrite: &mut dyn FnMut(&mut Operand)) {
                 }
                 rewrite(&mut vop.len);
             }
-            Stmt::Break | Stmt::Continue | Stmt::Return => {}
+            Stmt::Break(_) | Stmt::Continue(_) | Stmt::Return(_) => {}
         }
     }
 }

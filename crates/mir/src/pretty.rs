@@ -188,6 +188,7 @@ fn print_stmt(out: &mut String, f: &MirFunction, s: &Stmt, level: usize) {
             cond,
             then_body,
             else_body,
+            ..
         } => {
             let _ = writeln!(out, "if {} {{", fmt_op(f, cond));
             print_stmts(out, f, then_body, level + 1);
@@ -205,6 +206,7 @@ fn print_stmt(out: &mut String, f: &MirFunction, s: &Stmt, level: usize) {
             step,
             stop,
             body,
+            ..
         } => {
             let _ = writeln!(
                 out,
@@ -222,6 +224,7 @@ fn print_stmt(out: &mut String, f: &MirFunction, s: &Stmt, level: usize) {
             cond_defs,
             cond,
             body,
+            ..
         } => {
             out.push_str("while {\n");
             print_stmts(out, f, cond_defs, level + 1);
@@ -233,9 +236,9 @@ fn print_stmt(out: &mut String, f: &MirFunction, s: &Stmt, level: usize) {
             ind(out, level);
             out.push_str("}\n");
         }
-        Stmt::Break => out.push_str("break\n"),
-        Stmt::Continue => out.push_str("continue\n"),
-        Stmt::Return => out.push_str("return\n"),
+        Stmt::Break(_) => out.push_str("break\n"),
+        Stmt::Continue(_) => out.push_str("continue\n"),
+        Stmt::Return(_) => out.push_str("return\n"),
         Stmt::VectorOp(vop) => {
             let kind = match &vop.kind {
                 VecKind::Map(op) => format!("vmap[{op}]"),

@@ -210,6 +210,7 @@ fn emit_dim_guard(func: &mut MirFunction, out: &mut Vec<Stmt>, a: VarId, b: VarI
             },
         ],
         else_body: vec![],
+        span,
     });
 }
 

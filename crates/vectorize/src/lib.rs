@@ -48,7 +48,7 @@ pub use affine::{Affine, LoopEnv};
 pub use arrays::{vectorize_arrays, ArrayReport};
 pub use forward::{forward_slices, ForwardReport};
 pub use fuse::{fuse_mac, FuseReport};
-pub use loops::{vectorize_loops, LoopReport, LANE_BUILTINS};
+pub use loops::{vectorize_loops, LoopDecision, LoopReport, LANE_BUILTINS};
 
 use matic_mir::{MirFunction, MirProgram};
 
@@ -82,6 +82,9 @@ impl VectorizeReport {
         self.loops.macs += other.loops.macs;
         self.loops.reductions += other.loops.reductions;
         self.loops.rejected += other.loops.rejected;
+        self.loops
+            .decisions
+            .extend(other.loops.decisions.iter().copied());
         self.arrays.maps += other.arrays.maps;
         self.arrays.reductions += other.arrays.reductions;
         self.arrays.copies += other.arrays.copies;

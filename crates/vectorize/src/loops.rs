@@ -29,6 +29,19 @@ pub const LANE_BUILTINS: &[&str] = &[
     "abs", "conj", "sqrt", "real", "imag", "floor", "ceil", "round",
 ];
 
+/// One accept/reject decision made for a candidate `for` loop, carrying
+/// the source span of the loop header so diagnostics can point at it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoopDecision {
+    /// Span of the loop header the decision concerns.
+    pub span: Span,
+    /// Whether the loop was converted to a vector operation.
+    pub accepted: bool,
+    /// Vector kind on accept (`map`, `mac`, `reduction`) or the rejection
+    /// reason.
+    pub detail: &'static str,
+}
+
 /// Statistics from the loop-vectorization pass.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct LoopReport {
@@ -40,6 +53,8 @@ pub struct LoopReport {
     pub reductions: usize,
     /// Candidate loops left scalar (dependence or unsupported shape).
     pub rejected: usize,
+    /// Per-loop accept/reject decisions with spans, in visit order.
+    pub decisions: Vec<LoopDecision>,
 }
 
 /// Runs loop idiom recognition over `func`, replacing recognized loops.
@@ -79,15 +94,27 @@ fn process_body(
                 step,
                 stop,
                 body,
+                span,
             } => {
                 // Recurse into the body first (vectorizes inner loops of
                 // nests; the outer loop then stays scalar around them).
                 process_body(func, body, after, report);
+                let decided = report.decisions.len();
                 if let Some(replacement) =
-                    try_vectorize_loop(func, *var, *start, *step, *stop, body, after, report)
+                    try_vectorize_loop(func, *var, *start, *step, *stop, body, *span, after, report)
                 {
                     out.extend(replacement);
                     continue;
+                }
+                // Candidates bailed out via `?` (or a non-straight-line
+                // body) still get a decision entry, without disturbing
+                // the rejection counter semantics.
+                if report.decisions.len() == decided {
+                    report.decisions.push(LoopDecision {
+                        span: *span,
+                        accepted: false,
+                        detail: "unsupported loop body",
+                    });
                 }
                 out.push(stmt);
             }
@@ -158,6 +185,7 @@ fn try_vectorize_loop(
     step: Operand,
     stop: Operand,
     body: &[Stmt],
+    loop_span: Span,
     live_after: &HashSet<VarId>,
     report: &mut LoopReport,
 ) -> Option<Vec<Stmt>> {
@@ -170,7 +198,7 @@ fn try_vectorize_loop(
     } else if step_const == Some(-1.0) {
         -1.0
     } else {
-        return give_up(report);
+        return give_up(report, loop_span, "non-unit loop stride");
     };
     // The body must be straight-line Defs plus at most one Store.
     let mut stores = 0usize;
@@ -183,13 +211,18 @@ fn try_vectorize_loop(
     }
     if stores > 1 {
         report.rejected += 1;
+        report.decisions.push(LoopDecision {
+            span: loop_span,
+            accepted: false,
+            detail: "more than one store in loop body",
+        });
         return None;
     }
 
     let env = LoopEnv::new(induction, body);
     let mut defs: Vec<(VarId, &Rvalue)> = Vec::new();
     let mut syms: Vec<(VarId, Sym)> = Vec::new();
-    let mut acc_update: Option<(VarId, VarId)> = None; // (acc, value temp)
+    let mut acc_update: Option<(VarId, VarId, Span)> = None; // (acc, value temp, span)
     let mut store: Option<(VarId, &[Index], Operand, Span)> = None;
     // Body-local clones of invariant arrays (e.g. inlined parameter
     // bindings): loads through them resolve to the original array.
@@ -226,7 +259,7 @@ fn try_vectorize_loop(
 
     for s in body {
         match s {
-            Stmt::Def { dst, rv, span: _ } => {
+            Stmt::Def { dst, rv, span } => {
                 // Accumulator update: acc = acc ± t / acc = t + acc.
                 if let Rvalue::Binary {
                     op: BinOp::Add,
@@ -240,21 +273,21 @@ fn try_vectorize_loop(
                     } else if is_acc(a) && !is_acc(b) {
                         if let Some(t) = b.as_var() {
                             if acc_update.is_none() {
-                                acc_update = Some((*dst, t));
+                                acc_update = Some((*dst, t, *span));
                                 defs.push((*dst, rv));
                                 continue;
                             }
                         }
-                        return give_up(report);
+                        return give_up(report, loop_span, "unsupported accumulator update");
                     } else if is_acc(b) && !is_acc(a) {
                         if let Some(t) = a.as_var() {
                             if acc_update.is_none() {
-                                acc_update = Some((*dst, t));
+                                acc_update = Some((*dst, t, *span));
                                 defs.push((*dst, rv));
                                 continue;
                             }
                         }
-                        return give_up(report);
+                        return give_up(report, loop_span, "unsupported accumulator update");
                     }
                 }
                 // Symbolic interpretation.
@@ -317,7 +350,7 @@ fn try_vectorize_loop(
                         {
                             defs.push((*dst, rv));
                         } else {
-                            return give_up(report);
+                            return give_up(report, loop_span, "unvectorizable statement in body");
                         }
                     }
                 }
@@ -336,12 +369,12 @@ fn try_vectorize_loop(
 
     // No Def result may be observed after the loop (we delete them all).
     for (d, _) in &defs {
-        if live_after.contains(d) && acc_update.map(|(a, _)| a) != Some(*d) {
-            return give_up(report);
+        if live_after.contains(d) && acc_update.map(|(a, _, _)| a) != Some(*d) {
+            return give_up(report, loop_span, "body temporary is live after the loop");
         }
     }
 
-    let span = Span::dummy();
+    let span = loop_span;
     let mut prelude: Vec<Stmt> = Vec::new();
     // A reverse loop has its bounds swapped: `n:-1:1` runs `n - 1 + 1`
     // iterations.
@@ -354,11 +387,11 @@ fn try_vectorize_loop(
     match (store, acc_update) {
         (Some((dst_arr, indices, value, sspan)), None) => {
             let [Index::Scalar(idx_op)] = indices else {
-                return give_up(report);
+                return give_up(report, loop_span, "non-scalar store subscript");
             };
             let dst_affine = env.affine_of(*idx_op, &defs)?;
             if dst_affine.is_invariant() {
-                return give_up(report);
+                return give_up(report, loop_span, "loop-invariant store subscript");
             }
             // The stored value's symbolic form.
             let sym = match value {
@@ -374,7 +407,7 @@ fn try_vectorize_loop(
                 for l in sym_leaves(s) {
                     if let Leaf::Load { array, affine } = l {
                         if *array == dst_arr && *affine != dst_affine {
-                            return give_up(report);
+                            return give_up(report, loop_span, "loop-carried dependence");
                         }
                     }
                 }
@@ -405,6 +438,11 @@ fn try_vectorize_loop(
                 ),
             };
             report.maps += 1;
+            report.decisions.push(LoopDecision {
+                span: loop_span,
+                accepted: true,
+                detail: "map",
+            });
             prelude.push(Stmt::VectorOp(VectorOp {
                 kind,
                 dst: dst_ref,
@@ -416,7 +454,7 @@ fn try_vectorize_loop(
             }));
             Some(prelude)
         }
-        (None, Some((acc, tval))) => {
+        (None, Some((acc, tval, acc_span))) => {
             let sym = lookup_sym(&syms, tval)?;
             let complex = is_complex_var(func, acc)
                 || sym_leaves_owned(&sym).iter().any(|l| leaf_complex(func, l));
@@ -425,6 +463,11 @@ fn try_vectorize_loop(
                     let a = leaf_ref(func, &mut prelude, &env, &la, start, dir, span)?;
                     let b = leaf_ref(func, &mut prelude, &env, &lb, start, dir, span)?;
                     report.macs += 1;
+                    report.decisions.push(LoopDecision {
+                        span: loop_span,
+                        accepted: true,
+                        detail: "mac",
+                    });
                     prelude.push(Stmt::VectorOp(VectorOp {
                         kind: VecKind::Mac,
                         dst: VecRef::Splat(Operand::Var(acc)),
@@ -432,13 +475,18 @@ fn try_vectorize_loop(
                         b: Some(b),
                         len,
                         complex,
-                        span,
+                        span: acc_span,
                     }));
                     Some(prelude)
                 }
                 Sym::Leaf(l) => {
                     let a = leaf_ref(func, &mut prelude, &env, &l, start, dir, span)?;
                     report.reductions += 1;
+                    report.decisions.push(LoopDecision {
+                        span: loop_span,
+                        accepted: true,
+                        detail: "reduction",
+                    });
                     prelude.push(Stmt::VectorOp(VectorOp {
                         kind: VecKind::Reduce(ReduceKind::Sum),
                         dst: VecRef::Splat(Operand::Var(acc)),
@@ -446,14 +494,14 @@ fn try_vectorize_loop(
                         b: None,
                         len,
                         complex,
-                        span,
+                        span: acc_span,
                     }));
                     Some(prelude)
                 }
-                _ => give_up(report),
+                _ => give_up(report, loop_span, "unsupported reduction form"),
             }
         }
-        _ => give_up(report),
+        _ => give_up(report, loop_span, "no vectorizable store or accumulator"),
     }
 }
 
@@ -462,8 +510,13 @@ fn f_var_scalar(func: &MirFunction, v: VarId) -> bool {
     func.var_ty(v).shape.is_scalar()
 }
 
-fn give_up<T>(report: &mut LoopReport) -> Option<T> {
+fn give_up<T>(report: &mut LoopReport, span: Span, reason: &'static str) -> Option<T> {
     report.rejected += 1;
+    report.decisions.push(LoopDecision {
+        span,
+        accepted: false,
+        detail: reason,
+    });
     None
 }
 

@@ -71,6 +71,98 @@ fn check_cell(spec_name: &str, spec: IsaSpec, label: &str, opt: OptLevel) {
     }
 }
 
+/// Profiling must be observationally free: enabling per-span attribution
+/// may not change a single cycle, instruction, output byte, or printed
+/// character on either engine — the profiler only *observes* charges that
+/// happen anyway.
+fn check_profiling_is_free(spec_name: &str, spec: IsaSpec, opt: OptLevel) {
+    for b in SUITE {
+        let n = test_size(b.id);
+        let compiled = Compiler::new()
+            .target(spec.clone())
+            .opt_level(opt)
+            .compile(b.source, b.entry, &b.arg_types(n))
+            .unwrap_or_else(|e| panic!("{} [{spec_name}]: compile failed: {e}", b.id));
+        let inputs: Vec<_> = b.inputs(n, 42).iter().map(to_sim).collect();
+
+        // Decoded engine: off vs on.
+        let plain = compiled.simulator().run(inputs.clone()).unwrap();
+        let profiled = compiled
+            .simulator()
+            .with_profiling(true)
+            .run(inputs.clone())
+            .unwrap();
+        assert!(
+            plain.profile.is_none(),
+            "{}: profile off must be None",
+            b.id
+        );
+        let profile = profiled.profile.as_ref().unwrap_or_else(|| {
+            panic!("{} [{spec_name}]: profiling on must attach a profile", b.id)
+        });
+        assert_eq!(
+            profile.total_cycles(),
+            profiled.cycles.total,
+            "{} [{spec_name}]: profile must account for every cycle",
+            b.id
+        );
+        assert_eq!(
+            (&plain.outputs, &plain.printed, &plain.cycles),
+            (&profiled.outputs, &profiled.printed, &profiled.cycles),
+            "{} [{spec_name}]: profiling changed decoded-engine behavior",
+            b.id
+        );
+
+        // Tree-walk engine: same invariant.
+        let machine = || {
+            let mut m = AsipMachine::from_shared(Arc::clone(&compiled.spec));
+            if !opt.intrinsics {
+                m = m.without_intrinsics();
+            }
+            m
+        };
+        let plain_tw = machine()
+            .run_interpreted(&compiled.mir, &compiled.entry, inputs.clone())
+            .unwrap();
+        let profiled_tw = machine()
+            .with_profiling(true)
+            .run_interpreted(&compiled.mir, &compiled.entry, inputs)
+            .unwrap();
+        assert_eq!(
+            (&plain_tw.outputs, &plain_tw.printed, &plain_tw.cycles),
+            (
+                &profiled_tw.outputs,
+                &profiled_tw.printed,
+                &profiled_tw.cycles
+            ),
+            "{} [{spec_name}]: profiling changed tree-walk behavior",
+            b.id
+        );
+
+        // Both engines must attribute identically, span by span.
+        assert_eq!(
+            profiled.profile, profiled_tw.profile,
+            "{} [{spec_name}]: per-span attribution diverges between engines",
+            b.id
+        );
+    }
+}
+
+#[test]
+fn profiling_is_observationally_free_dsp16_full() {
+    check_profiling_is_free("dsp16", IsaSpec::dsp16(), OptLevel::full());
+}
+
+#[test]
+fn profiling_is_observationally_free_dsp16_baseline() {
+    check_profiling_is_free("dsp16", IsaSpec::dsp16(), OptLevel::baseline());
+}
+
+#[test]
+fn profiling_is_observationally_free_scalar_full() {
+    check_profiling_is_free("scalar", IsaSpec::scalar_baseline(), OptLevel::full());
+}
+
 #[test]
 fn decoded_engine_matches_tree_walker_dsp16_baseline() {
     check_cell("dsp16", IsaSpec::dsp16(), "baseline", OptLevel::baseline());
