@@ -7,12 +7,23 @@
 //! host-second as the throughput figure). Simulated cycle counts are
 //! deterministic; only the host timings vary run to run. Regenerate with:
 //! `cargo run --release -p matic-bench --bin repro_perf`
+//!
+//! **Regression gate**: when a committed `BENCH_simulator.json` already
+//! exists, the run compares per-cell throughput against it and prints a
+//! delta table. A geomean throughput drop beyond 15% exits non-zero —
+//! wide enough to absorb host noise on the small cells, tight enough to
+//! catch a real simulator slowdown. The new numbers are written out
+//! regardless, so `git diff` shows exactly what changed.
 
 use matic::{Compiler, OptLevel};
 use matic_bench::render_table;
 use matic_benchkit::{to_sim, SUITE};
-use matic_isa::json::Json;
+use matic_isa::json::{parse, Json};
+use std::process::ExitCode;
 use std::time::Instant;
+
+/// Allowed geomean throughput regression vs. the committed baseline.
+const MAX_GEOMEAN_REGRESSION: f64 = 0.15;
 
 /// Simulation sizes kept small enough that one run is well under a
 /// millisecond for most kernels (matches `benches/simulator.rs`).
@@ -67,7 +78,80 @@ fn time_cell(bench: &matic_benchkit::Benchmark, opt: OptLevel, label: &'static s
     }
 }
 
-fn main() {
+/// Reads the committed baseline's per-cell throughput, keyed by
+/// `bench_opt`. `None` when no baseline exists (first run on a machine).
+fn read_baseline(path: &str) -> Option<Vec<(String, f64)>> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let doc = parse(&text).ok()?;
+    let Some(Json::Arr(results)) = doc.get("results") else {
+        return None;
+    };
+    let cells: Vec<(String, f64)> = results
+        .iter()
+        .filter_map(|r| {
+            let bench = r.get("bench")?.as_str()?;
+            let opt = r.get("opt")?.as_str()?;
+            let tput = r.get("sim_cycles_per_sec")?.as_f64()?;
+            (tput > 0.0).then(|| (format!("{bench}_{opt}"), tput))
+        })
+        .collect();
+    (!cells.is_empty()).then_some(cells)
+}
+
+/// Compares new throughput against the committed baseline; prints the
+/// delta table and returns `Err` on a geomean regression beyond the gate.
+fn gate_against_baseline(timings: &[Timing], baseline: &[(String, f64)]) -> Result<(), String> {
+    let mut rows = Vec::new();
+    let mut log_ratio_sum = 0.0f64;
+    let mut compared = 0usize;
+    for t in timings {
+        let cell = format!("{}_{}", t.bench, t.opt);
+        let Some((_, old)) = baseline.iter().find(|(k, _)| *k == cell) else {
+            rows.push(vec![
+                cell,
+                "-".into(),
+                format!("{:.1}", t.cycles_per_sec / 1e6),
+                "new".into(),
+            ]);
+            continue;
+        };
+        let ratio = t.cycles_per_sec / old;
+        log_ratio_sum += ratio.ln();
+        compared += 1;
+        rows.push(vec![
+            cell,
+            format!("{:.1}", old / 1e6),
+            format!("{:.1}", t.cycles_per_sec / 1e6),
+            format!("{:+.1}%", (ratio - 1.0) * 100.0),
+        ]);
+    }
+    println!("throughput vs committed baseline (Mcyc/s):");
+    println!();
+    println!(
+        "{}",
+        render_table(&["cell", "baseline", "now", "delta"], &rows)
+    );
+    if compared == 0 {
+        println!("no comparable cells in baseline; gate skipped");
+        return Ok(());
+    }
+    let geomean = (log_ratio_sum / compared as f64).exp();
+    println!(
+        "geomean throughput ratio: {:.3}x over {compared} cells (gate: >= {:.2}x)",
+        geomean,
+        1.0 - MAX_GEOMEAN_REGRESSION
+    );
+    if geomean < 1.0 - MAX_GEOMEAN_REGRESSION {
+        return Err(format!(
+            "geomean throughput regressed {:.1}% vs baseline (allowed {:.0}%)",
+            (1.0 - geomean) * 100.0,
+            MAX_GEOMEAN_REGRESSION * 100.0
+        ));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
     let mut timings = Vec::new();
     for b in SUITE {
         timings.push(time_cell(b, OptLevel::baseline(), "base"));
@@ -116,6 +200,17 @@ fn main() {
         ("results".into(), Json::Arr(results)),
     ]);
     let path = "BENCH_simulator.json";
+    let baseline = read_baseline(path);
     std::fs::write(path, doc.pretty() + "\n").expect("write BENCH_simulator.json");
     println!("wrote {path}");
+    if let Some(baseline) = baseline {
+        println!();
+        if let Err(e) = gate_against_baseline(&timings, &baseline) {
+            eprintln!("repro_perf: {e}");
+            return ExitCode::FAILURE;
+        }
+    } else {
+        println!("no committed baseline found; regression gate skipped");
+    }
+    ExitCode::SUCCESS
 }

@@ -7,6 +7,11 @@
 use matic::{Compiled, Compiler, IsaSpec, OptLevel};
 use matic_benchkit::{outputs_close, sim_to_cvalue, to_sim, Benchmark};
 
+// The fan-out/report helpers live with the design-space explorer (its
+// heaviest user); re-exported here so the repro binaries keep their
+// `matic_bench::{par_map, render_table}` imports.
+pub use matic_explore::{par_map, render_table};
+
 /// One measured (benchmark, target, opt-level) cell.
 #[derive(Debug, Clone)]
 pub struct Measurement {
@@ -75,90 +80,6 @@ pub fn speedup(baseline: u64, optimized: u64) -> f64 {
     baseline as f64 / optimized.max(1) as f64
 }
 
-/// Maps `f` over `items` on all available cores, preserving input order.
-///
-/// The repro binaries fan out over (benchmark, target, opt-level)
-/// measurement cells that are independent of each other; this spreads
-/// them over a scoped thread pool with a shared atomic work index, so a
-/// slow cell (e.g. `xcorr` at full N) does not serialize the rest.
-/// Worker threads build their simulation inputs locally — `Matrix`
-/// payloads are `Rc`-backed and must not cross threads.
-///
-/// # Panics
-///
-/// Re-raises the first panic from any worker (a failed measurement must
-/// still abort the whole run).
-pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(&T) -> R + Sync,
-{
-    use std::sync::atomic::{AtomicUsize, Ordering};
-    let threads = std::thread::available_parallelism()
-        .map_or(1, |n| n.get())
-        .min(items.len().max(1));
-    if threads <= 1 {
-        return items.iter().map(f).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let mut tagged: Vec<(usize, R)> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                s.spawn(|| {
-                    let mut done = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(item) = items.get(i) else { break };
-                        done.push((i, f(item)));
-                    }
-                    done
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| match h.join() {
-                Ok(part) => part,
-                Err(payload) => std::panic::resume_unwind(payload),
-            })
-            .collect()
-    });
-    tagged.sort_by_key(|&(i, _)| i);
-    tagged.into_iter().map(|(_, r)| r).collect()
-}
-
-/// Renders an aligned text table.
-pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
-    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
-    for row in rows {
-        for (k, cell) in row.iter().enumerate() {
-            if k < widths.len() {
-                widths[k] = widths[k].max(cell.len());
-            }
-        }
-    }
-    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
-        let mut line = String::new();
-        for (k, c) in cells.iter().enumerate() {
-            line.push_str(&format!("{:<width$}  ", c, width = widths[k]));
-        }
-        line.trim_end().to_string()
-    };
-    let mut out = String::new();
-    let hdr: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
-    out.push_str(&fmt_row(&hdr, &widths));
-    out.push('\n');
-    let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
-    out.push_str(&"-".repeat(total));
-    out.push('\n');
-    for row in rows {
-        out.push_str(&fmt_row(row, &widths));
-        out.push('\n');
-    }
-    out
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -179,19 +100,9 @@ mod tests {
         assert_eq!(speedup(100, 0), 100.0);
     }
 
-    #[test]
-    fn par_map_preserves_order() {
-        let items: Vec<u64> = (0..100).collect();
-        let squared = par_map(&items, |&x| x * x);
-        assert_eq!(squared, items.iter().map(|&x| x * x).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn par_map_handles_empty_and_single() {
-        assert_eq!(par_map::<u32, u32, _>(&[], |&x| x), Vec::<u32>::new());
-        assert_eq!(par_map(&[7], |&x| x + 1), vec![8]);
-    }
-
+    // `par_map`/`render_table` unit tests live with their implementation
+    // in matic-explore; here we only pin that measurement cells stay safe
+    // to fan out.
     #[test]
     fn par_map_measures_like_sequential() {
         // Measurement cells must be safe to fan out: same cycle counts as
@@ -206,18 +117,5 @@ mod tests {
             .map(|&opt| measure(b, 64, IsaSpec::dsp16(), opt, 5).cycles)
             .collect();
         assert_eq!(par, seq);
-    }
-
-    #[test]
-    fn table_rendering_aligns() {
-        let t = render_table(
-            &["bench", "cycles"],
-            &[
-                vec!["fir".into(), "123".into()],
-                vec!["iir".into(), "45".into()],
-            ],
-        );
-        assert!(t.contains("bench"));
-        assert!(t.lines().count() >= 4);
     }
 }

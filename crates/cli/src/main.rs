@@ -7,6 +7,8 @@
 //! matic cycles  <file.m> --entry <fn> --sig <spec>   baseline-vs-optimized
 //!       [--n <size>] [--profile] [--profile-json <p>] cycle comparison
 //! matic targets [--dump <name>]                       list/export targets
+//! matic explore [--benchmarks <ids>] [--widths <list>] [--scales <list>]
+//!       [--area-model <json>] [--json <out>]           design-space search
 //! ```
 //!
 //! `--sig` describes the entry signature, comma-separated:
@@ -37,6 +39,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "mir" => cmd_mir(&args[1..]),
         "cycles" => cmd_cycles(&args[1..]),
         "targets" => cmd_targets(&args[1..]),
+        "explore" => cmd_explore(&args[1..]),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -51,7 +54,13 @@ const USAGE: &str = "usage:
   matic cycles  <file.m> --entry <fn> --sig <spec> [--target <json>] [--seed <k>] [--max-cycles <N>]
                 [--profile] [--profile-json <path>]
   matic targets [--dump <name>]
+  matic explore [--benchmarks <ids>] [--widths <list>] [--scales <list>] [--n <size>]
+                [--seed <k>] [--max-cycles <N>] [--area-model <json>] [--json <out>] [--quick]
 sig spec: s | cs | v<N> | cv<N> | m<R>x<C>, comma-separated (e.g. v1024,v64)
+explore sweeps a grid of candidate ISAs (SIMD widths x feature subsets x
+cost scalings) over the benchmark suite and reports the cycles-vs-area
+Pareto frontier; --quick shrinks the grid for smoke runs, --json writes a
+matic-explore-v1 document
 --max-cycles caps the simulated step budget (default 100000000); runaway
 programs stop with a fuel-exhaustion diagnostic instead of hanging
 --profile prints a per-source-line cycle report for the optimized build;
@@ -406,6 +415,82 @@ mod matic_benchkit_free {
     pub fn cx_scalar(re: f64, im: f64) -> SimVal {
         SimVal::Scalar(Cx::new(re, im))
     }
+}
+
+fn cmd_explore(args: &[String]) -> Result<(), String> {
+    use matic_explore::{explore, AreaModel, ExploreConfig, GridConfig};
+    let mut cfg = ExploreConfig::default();
+    let mut json_out = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--benchmarks" => {
+                cfg.bench_ids = next(&mut it, "--benchmarks")?
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+            }
+            "--widths" => {
+                cfg.grid.widths = next(&mut it, "--widths")?
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse()
+                            .map_err(|_| format!("bad width `{}`", s.trim()))
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "--scales" => {
+                cfg.grid.cost_scales = next(&mut it, "--scales")?
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse()
+                            .map_err(|_| format!("bad cost scale `{}`", s.trim()))
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "--n" => {
+                cfg.n = Some(
+                    next(&mut it, "--n")?
+                        .parse()
+                        .map_err(|_| "--n expects a positive integer".to_string())?,
+                );
+            }
+            "--seed" => {
+                cfg.seed = next(&mut it, "--seed")?
+                    .parse()
+                    .map_err(|_| "--seed expects an integer".to_string())?;
+            }
+            "--max-cycles" => {
+                cfg.fuel = next(&mut it, "--max-cycles")?
+                    .parse()
+                    .map_err(|_| "--max-cycles expects a positive integer".to_string())?;
+                if cfg.fuel == 0 {
+                    return Err("--max-cycles expects a positive integer".to_string());
+                }
+            }
+            "--area-model" => {
+                let p = next(&mut it, "--area-model")?;
+                let text = std::fs::read_to_string(&p)
+                    .map_err(|e| format!("cannot read area model `{p}`: {e}"))?;
+                cfg.area = AreaModel::from_json(&text)?;
+            }
+            "--json" => json_out = Some(next(&mut it, "--json")?),
+            "--quick" => cfg.grid = GridConfig::quick(),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    let result = explore(&cfg)?;
+    print!("{}", result.render_text());
+    if let Some(path) = json_out {
+        let mut text = result.to_json().pretty();
+        text.push('\n');
+        std::fs::write(&path, text).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        println!("\nwrote {path}");
+    }
+    Ok(())
 }
 
 fn cmd_targets(args: &[String]) -> Result<(), String> {

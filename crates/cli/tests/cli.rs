@@ -147,6 +147,42 @@ fn help_documents_max_cycles() {
 }
 
 #[test]
+fn explore_quick_reports_frontier_and_writes_valid_json() {
+    let dir = std::env::temp_dir().join(format!("matic_cli_{}_explore", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let json = dir.join("explore.json");
+    let out = run(&[
+        "explore",
+        "--benchmarks",
+        "fir",
+        "--quick",
+        "--n",
+        "64",
+        "--json",
+        json.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr_line(&out));
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(text.contains("frontier point"), "{text}");
+    assert!(text.contains("== fir"), "{text}");
+    let doc = std::fs::read_to_string(&json).expect("json written");
+    let summary = matic_explore::validate_explore_json(&doc).expect("document validates");
+    assert_eq!(summary.benchmarks, 1);
+    assert!(summary.scalar_outperformed);
+}
+
+#[test]
+fn explore_rejects_unknown_benchmarks_and_bad_grids() {
+    let out = run(&["explore", "--benchmarks", "nope", "--quick"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr_line(&out).contains("unknown benchmark `nope`"));
+
+    let out = run(&["explore", "--benchmarks", "fir", "--widths", "0"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr_line(&out).contains("width"), "{}", stderr_line(&out));
+}
+
+#[test]
 fn well_formed_program_still_succeeds() {
     let file = source_file("ok", "function y = f(a, b)\ny = sum(a .* b);\nend\n");
     let out = run(&[

@@ -296,7 +296,20 @@ impl Compiled {
     /// so repeated [`matic_asip::Simulator::run`] calls pay only for
     /// execution.
     pub fn simulator(&self) -> matic_asip::Simulator<'_> {
-        let mut machine = matic_asip::AsipMachine::from_shared(Arc::clone(&self.spec));
+        self.simulator_for(Arc::clone(&self.spec))
+    }
+
+    /// A simulator for this compilation retargeted to an arbitrary ISA
+    /// `spec`, still sharing the once-per-compilation decoded program.
+    ///
+    /// The MIR (and therefore the decoded instruction stream) is
+    /// target-independent — all target dependence lives in the machine's
+    /// cost table and capability gates — so one compilation can be
+    /// fanned out across many candidate ISAs. This is the primitive the
+    /// `matic-explore` design-space search is built on: compile once,
+    /// simulate against hundreds of [`IsaSpec`] variants in parallel.
+    pub fn simulator_for(&self, spec: Arc<IsaSpec>) -> matic_asip::Simulator<'_> {
+        let mut machine = matic_asip::AsipMachine::from_shared(spec);
         if !self.opt.intrinsics {
             // A baseline compilation models a toolchain that is blind to
             // the custom instructions; the machine must not charge them.
@@ -411,6 +424,57 @@ mod tests {
             .compile("function y = f(x)\ny = 2 * x;\nend", "f", &[arg::scalar()])
             .expect("compile ok");
         assert!(out.mir_dump().contains("func @f"));
+    }
+
+    #[test]
+    fn compiled_is_shareable_across_threads() {
+        // The design-space explorer fans one `Compiled` out across a
+        // thread pool; everything it holds must be Sync (the Rc-backed
+        // simulation *values* are deliberately not, and stay per-thread).
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Compiled>();
+    }
+
+    #[test]
+    fn simulator_for_matches_standalone_compilation() {
+        // Retargeting an existing compilation must charge exactly the
+        // cycles a from-scratch compilation for that target charges: the
+        // decoded program is target-independent.
+        let src = "function s = dotp(a, b)\ns = sum(a .* b);\nend";
+        let args = [arg::vector(64), arg::vector(64)];
+        let inputs = || {
+            vec![
+                matic_asip::SimVal::row(&(0..64).map(|i| i as f64).collect::<Vec<_>>()),
+                matic_asip::SimVal::row(&[0.5; 64]),
+            ]
+        };
+        let compiled = Compiler::new().compile(src, "dotp", &args).expect("ok");
+        for spec in [
+            IsaSpec::scalar_baseline(),
+            IsaSpec::with_width(4),
+            IsaSpec::with_features(matic_isa::Features {
+                simd: false,
+                complex: true,
+                mac: true,
+            }),
+        ] {
+            let retargeted = compiled
+                .simulator_for(Arc::new(spec.clone()))
+                .run(inputs())
+                .expect("retargeted sim ok");
+            let standalone = Compiler::new()
+                .target(spec.clone())
+                .compile(src, "dotp", &args)
+                .expect("ok")
+                .simulate(inputs())
+                .expect("standalone sim ok");
+            assert_eq!(
+                retargeted.cycles.total, standalone.cycles.total,
+                "{}: retargeted simulation must bit-match",
+                spec.name
+            );
+            assert_eq!(retargeted.outputs, standalone.outputs, "{}", spec.name);
+        }
     }
 
     #[test]

@@ -1,0 +1,57 @@
+//! Pareto-frontier extraction over (area, cycles) points.
+
+/// Indices of the Pareto-optimal points of `points`, where each point is
+/// `(area, cycles)` and both coordinates are minimized.
+///
+/// A point is on the frontier iff no other point *strictly dominates* it:
+/// `q` dominates `p` when `q` is no worse on both axes and strictly
+/// better on at least one. Exact ties on both axes therefore keep both
+/// points — two candidates with identical cost and performance are
+/// equally recommendable. Returned indices are in input order.
+pub fn pareto_frontier(points: &[(f64, f64)]) -> Vec<usize> {
+    (0..points.len())
+        .filter(|&i| {
+            let (ai, ci) = points[i];
+            !points
+                .iter()
+                .enumerate()
+                .any(|(j, &(aj, cj))| j != i && aj <= ai && cj <= ci && (aj < ai || cj < ci))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_the_staircase() {
+        // Area up, cycles down: every point trades one axis for the other.
+        let pts = [(1.0, 100.0), (2.0, 50.0), (3.0, 25.0)];
+        assert_eq!(pareto_frontier(&pts), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn drops_dominated_points() {
+        let pts = [
+            (1.0, 100.0), // frontier: cheapest
+            (2.0, 50.0),  // frontier
+            (2.5, 60.0),  // dominated by (2, 50)
+            (3.0, 50.0),  // dominated by (2, 50): same cycles, more area
+            (3.0, 20.0),  // frontier: fastest
+        ];
+        assert_eq!(pareto_frontier(&pts), vec![0, 1, 4]);
+    }
+
+    #[test]
+    fn ties_keep_both_and_edge_cases_hold() {
+        let pts = [(1.0, 10.0), (1.0, 10.0)];
+        assert_eq!(pareto_frontier(&pts), vec![0, 1]);
+        assert!(pareto_frontier(&[]).is_empty());
+        assert_eq!(pareto_frontier(&[(5.0, 5.0)]), vec![0]);
+        // The minimum-area point is always on the frontier (nothing can
+        // strictly dominate it on area).
+        let pts = [(1.0, 1000.0), (9.0, 1.0)];
+        assert_eq!(pareto_frontier(&pts), vec![0, 1]);
+    }
+}

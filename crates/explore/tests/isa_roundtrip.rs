@@ -1,0 +1,77 @@
+//! ISA JSON round-trip coverage across the explorer's candidate space.
+//!
+//! The explorer writes winning specs for humans to keep under `targets/`;
+//! a spec that does not survive `to_json` → `from_json` intact would make
+//! those files lie. Covered two ways: exhaustively over the full default
+//! grid, and property-based over random grid coordinates (including ones
+//! the default grid never visits).
+
+use matic::{Features, IsaSpec};
+use matic_explore::grid::{build_spec, enumerate, GridConfig};
+use proptest::prelude::*;
+
+/// Every candidate of the default grid round-trips exactly.
+#[test]
+fn every_default_grid_candidate_round_trips() {
+    let candidates = enumerate(&GridConfig::default()).unwrap();
+    assert!(candidates.len() >= 48);
+    for cand in &candidates {
+        let text = cand.spec.to_json();
+        let back = IsaSpec::from_json(&text)
+            .unwrap_or_else(|e| panic!("{}: parse back failed: {e}", cand.name()));
+        assert_eq!(cand.spec, back, "{}", cand.name());
+        // And the loader only ever admits normalized, valid specs.
+        assert!(back.is_normalized(), "{}", cand.name());
+        assert!(back.validate().is_ok(), "{}", cand.name());
+    }
+}
+
+/// Serialized candidates that are hand-edited into inconsistency are
+/// rejected by the loader (satellite: cost-table validation on load).
+#[test]
+fn loader_rejects_corrupted_candidates() {
+    let spec = build_spec(8, Features::all(), 1.0);
+    let text = spec.to_json();
+
+    let zero_cost = text.replacen(": 1,", ": 0,", 1);
+    assert_ne!(zero_cost, text, "spec has a 1-cycle op to corrupt");
+    let err = IsaSpec::from_json(&zero_cost).unwrap_err();
+    assert!(err.contains("positive integer"), "{err}");
+
+    let fractional = text.replacen(": 2,", ": 2.5,", 1);
+    assert_ne!(fractional, text);
+    assert!(IsaSpec::from_json(&fractional).is_err());
+
+    // vector_width without simd is inconsistent on load, too.
+    let no_simd = text.replace("\"simd\": true", "\"simd\": false");
+    let err = IsaSpec::from_json(&no_simd).unwrap_err();
+    assert!(err.contains("simd"), "{err}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Arbitrary grid coordinates build specs that round-trip through
+    /// JSON exactly — including widths and scales outside the default
+    /// axes.
+    #[test]
+    fn arbitrary_coordinates_round_trip(
+        width in 1usize..65,
+        simd in prop_oneof![Just(true), Just(false)],
+        complex in prop_oneof![Just(true), Just(false)],
+        mac in prop_oneof![Just(true), Just(false)],
+        // Quarters between 0.25 and 4.0 keep the scale axis inside the
+        // admissible range while exercising fractional cost rounding.
+        quarter_scale in 1u32..17,
+    ) {
+        let features = Features { simd, complex, mac };
+        let scale = quarter_scale as f64 / 4.0;
+        let spec = build_spec(width, features, scale);
+        prop_assert!(spec.validate().is_ok());
+        prop_assert!(spec.is_normalized());
+        let back = IsaSpec::from_json(&spec.to_json()).map_err(|e| {
+            TestCaseError::fail(format!("parse back failed: {e}"))
+        })?;
+        prop_assert_eq!(spec, back);
+    }
+}

@@ -42,6 +42,23 @@ impl Features {
             mac: false,
         }
     }
+
+    /// Every feature subset, in a stable order (the ablation axis of the
+    /// design-space grid: 2³ = 8 combinations).
+    pub fn subsets() -> [Features; 8] {
+        let mut out = [Features::none(); 8];
+        for (i, f) in out.iter_mut().enumerate() {
+            f.simd = i & 1 != 0;
+            f.complex = i & 2 != 0;
+            f.mac = i & 4 != 0;
+        }
+        out
+    }
+
+    /// Whether any custom-instruction family is enabled.
+    pub fn any(&self) -> bool {
+        self.simd || self.complex || self.mac
+    }
 }
 
 /// Cycle costs per operation class.
@@ -158,9 +175,7 @@ impl IsaSpec {
         let mut spec = IsaSpec::dsp16();
         spec.name = format!("dsp16_w{width}");
         spec.vector_width = width.max(1);
-        if width <= 1 {
-            spec.features.simd = false;
-        }
+        spec.normalize();
         spec
     }
 
@@ -178,7 +193,31 @@ impl IsaSpec {
         if spec.name == "dsp16" {
             spec.name = "dsp16_none".to_string();
         }
+        spec.normalize();
         spec
+    }
+
+    /// Canonicalizes the width/feature interaction in place: a spec
+    /// without the `simd` feature has no SIMD datapath (`vector_width`
+    /// collapses to 1), and a 1-lane datapath cannot claim `simd`.
+    ///
+    /// Width 0 is also lifted to 1 — the normalized form always passes
+    /// [`IsaSpec::validate`]'s width/feature checks, which is what the
+    /// design-space explorer relies on to deduplicate candidates.
+    pub fn normalize(&mut self) {
+        if self.vector_width <= 1 {
+            self.features.simd = false;
+        }
+        if !self.features.simd {
+            self.vector_width = 1;
+        }
+    }
+
+    /// Whether [`IsaSpec::normalize`] would leave the spec unchanged.
+    pub fn is_normalized(&self) -> bool {
+        let mut c = self.clone();
+        c.normalize();
+        c == *self
     }
 
     /// Whether the target can issue `op` as a single custom instruction.
@@ -287,16 +326,22 @@ impl IsaSpec {
                 for (key, val) in fields {
                     let op = OpClass::from_snake(key)
                         .ok_or_else(|| format!("unknown op class `{key}` in costs"))?;
+                    // A cycle cost must be a positive integer: zero,
+                    // negative, fractional or non-finite costs would turn
+                    // into nonsense totals deep inside the simulator, so
+                    // they are rejected here, naming the op.
                     let cycles = val
                         .as_u64()
-                        .filter(|c| *c <= u32::MAX as u64)
-                        .ok_or_else(|| format!("invalid cycle count for `{key}`"))?;
+                        .filter(|c| (1..=u32::MAX as u64).contains(c))
+                        .ok_or_else(|| {
+                            format!("cost for op `{key}` must be a positive integer cycle count")
+                        })?;
                     costs.insert(op, cycles as u32);
                 }
             }
             _ => return Err("`costs.costs` must be an object".to_string()),
         }
-        Ok(IsaSpec {
+        let spec = IsaSpec {
             name: str_field("name")?,
             description: str_field("description")?,
             vector_width: doc
@@ -311,7 +356,9 @@ impl IsaSpec {
             },
             costs: CostModel { costs },
             intrinsic_prefix: str_field("intrinsic_prefix")?,
-        })
+        };
+        spec.validate()?;
+        Ok(spec)
     }
 
     /// Validates internal consistency (width vs. features).
@@ -324,7 +371,17 @@ impl IsaSpec {
             return Err("vector_width must be at least 1".to_string());
         }
         if self.features.simd && self.vector_width < 2 {
-            return Err("simd feature requires vector_width >= 2".to_string());
+            return Err(
+                "simd feature requires vector_width >= 2 (normalize() canonicalizes this)"
+                    .to_string(),
+            );
+        }
+        if !self.features.simd && self.vector_width > 1 {
+            return Err(format!(
+                "vector_width {} without the simd feature is inconsistent \
+                 (normalize() canonicalizes this)",
+                self.vector_width
+            ));
         }
         if self.name.is_empty() {
             return Err("target name must not be empty".to_string());
@@ -489,6 +546,104 @@ mod tests {
         assert_eq!(t.cost(OpClass::ScalarDiv), 8);
         t.costs.set_cost(OpClass::ScalarDiv, 16);
         assert_eq!(t.cost(OpClass::ScalarDiv), 16);
+    }
+
+    #[test]
+    fn normalize_canonicalizes_width_feature_interaction() {
+        // simd claimed on a 1-lane datapath: the feature goes away.
+        let mut t = IsaSpec::dsp16();
+        t.vector_width = 1;
+        t.normalize();
+        assert!(!t.features.simd);
+        assert_eq!(t.vector_width, 1);
+        assert!(t.validate().is_ok());
+
+        // a vector width without the simd feature: the width collapses.
+        let mut t = IsaSpec::dsp16();
+        t.features.simd = false;
+        t.normalize();
+        assert_eq!(t.vector_width, 1);
+        assert!(t.validate().is_ok());
+
+        // width 0 is lifted to the scalar form.
+        let mut t = IsaSpec::dsp16();
+        t.vector_width = 0;
+        t.normalize();
+        assert_eq!(t.vector_width, 1);
+        assert!(!t.features.simd);
+        assert!(t.validate().is_ok());
+
+        assert!(IsaSpec::dsp16().is_normalized());
+    }
+
+    #[test]
+    fn ablation_constructors_produce_consistent_specs() {
+        // Regression: `with_features` used to keep vector_width 8 on
+        // simd-less specs and `with_width(1)` kept the simd flag.
+        for features in Features::subsets() {
+            let t = IsaSpec::with_features(features);
+            assert!(t.validate().is_ok(), "{}: {:?}", t.name, t.validate());
+            if !features.simd {
+                assert_eq!(t.vector_width, 1, "{}", t.name);
+            }
+        }
+        for w in [1, 2, 8] {
+            assert!(IsaSpec::with_width(w).validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn feature_subsets_enumerate_all_combinations() {
+        let subsets = Features::subsets();
+        let mut seen = std::collections::HashSet::new();
+        for f in subsets {
+            assert!(seen.insert((f.simd, f.complex, f.mac)));
+        }
+        assert_eq!(seen.len(), 8);
+        assert!(!Features::none().any());
+        assert!(Features::all().any());
+    }
+
+    #[test]
+    fn zero_cost_is_rejected_naming_the_op() {
+        let json = IsaSpec::dsp16().to_json();
+        assert!(json.contains("\"scalar_div\": 8"), "fixture drifted");
+        let json = json.replace("\"scalar_div\": 8", "\"scalar_div\": 0");
+        let err = IsaSpec::from_json(&json).unwrap_err();
+        assert_eq!(
+            err,
+            "cost for op `scalar_div` must be a positive integer cycle count"
+        );
+    }
+
+    #[test]
+    fn fractional_and_negative_costs_are_rejected_naming_the_op() {
+        for bad in ["2.5", "-3", "1e99"] {
+            let json = IsaSpec::dsp16()
+                .to_json()
+                .replace("\"scalar_div\": 8", &format!("\"scalar_div\": {bad}"));
+            let err = IsaSpec::from_json(&json).unwrap_err();
+            assert!(err.contains("`scalar_div`"), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn inconsistent_json_spec_is_rejected() {
+        // simd with a 1-lane datapath.
+        let json = IsaSpec::dsp16()
+            .to_json()
+            .replace("\"vector_width\": 8", "\"vector_width\": 1");
+        assert!(IsaSpec::from_json(&json)
+            .unwrap_err()
+            .contains("simd feature requires vector_width >= 2"));
+
+        // a vector width on a spec that never claims simd.
+        let json = IsaSpec::dsp16()
+            .to_json()
+            .replace("\"simd\": true", "\"simd\": false");
+        assert!(IsaSpec::from_json(&json)
+            .unwrap_err()
+            .contains("without the simd feature"));
     }
 
     #[test]
