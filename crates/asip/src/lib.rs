@@ -49,4 +49,7 @@ pub mod sim;
 pub use decode::{decode_program, DecodedProgram};
 pub use profile::{Profile, SpanCounters, PROFILE_SCHEMA};
 pub use report::CycleReport;
-pub use sim::{AsipMachine, SimError, SimErrorKind, SimOutcome, SimVal, Simulator};
+pub use sim::{
+    fuse_program, AsipMachine, Engine, NativeProgram, SimError, SimErrorKind, SimOutcome, SimVal,
+    Simulator,
+};

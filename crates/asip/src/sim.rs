@@ -21,7 +21,7 @@ use matic_mir::{
     VecRef, VectorOp,
 };
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// A simulated runtime value: scalar register or memory-resident array.
 #[derive(Debug, Clone, PartialEq)]
@@ -280,11 +280,15 @@ impl AsipMachine {
         decoded: Arc<DecodedProgram>,
         entry: &str,
     ) -> Simulator<'m> {
+        let entry_idx = decoded.func_index(entry);
         Simulator {
             machine: self,
             mir,
             decoded,
+            native: OnceLock::new(),
+            engine: Engine::default(),
             entry: entry.to_string(),
+            entry_idx,
         }
     }
 
@@ -298,8 +302,32 @@ impl AsipMachine {
         let idx = decoded
             .func_index(entry)
             .ok_or_else(|| SimError::new(format!("entry `{entry}` not found"), Span::dummy()))?;
+        self.run_decoded_at(mir, decoded, idx, inputs)
+    }
+
+    pub(crate) fn run_decoded_at(
+        &self,
+        mir: &MirProgram,
+        decoded: &DecodedProgram,
+        idx: usize,
+        inputs: Vec<SimVal>,
+    ) -> Result<SimOutcome, SimError> {
         let mut exec = Exec::new(self, mir, Some(decoded));
         let outputs = exec.call_decoded(&mir.functions[idx], &decoded.funcs[idx], inputs)?;
+        Ok(exec.finish(outputs))
+    }
+
+    pub(crate) fn run_native_at(
+        &self,
+        mir: &MirProgram,
+        decoded: &DecodedProgram,
+        native: &NativeProgram,
+        idx: usize,
+        inputs: Vec<SimVal>,
+    ) -> Result<SimOutcome, SimError> {
+        let mut exec = Exec::new(self, mir, Some(decoded));
+        exec.native = Some(native);
+        let outputs = exec.call_native(&mir.functions[idx], &native.funcs[idx], inputs)?;
         Ok(exec.finish(outputs))
     }
 }
@@ -313,23 +341,70 @@ pub struct Simulator<'m> {
     machine: AsipMachine,
     mir: &'m MirProgram,
     decoded: Arc<DecodedProgram>,
+    /// Fused form for the native engine, built lazily on first native run
+    /// (or seeded via [`Simulator::with_native`] by a pipeline cache).
+    native: OnceLock<Arc<NativeProgram>>,
+    engine: Engine,
     entry: String,
+    /// Entry function index, resolved once at load time so repeated runs
+    /// skip the by-name lookup (`None` when the entry does not exist; the
+    /// error surfaces on `run`).
+    entry_idx: Option<usize>,
 }
 
 impl Simulator<'_> {
-    /// Runs the loaded entry function with `inputs`.
+    /// Runs the loaded entry function with `inputs` on the selected
+    /// [`Engine`] (default [`Engine::Native`]). All engines are bit-exact;
+    /// they differ only in speed.
     ///
     /// # Errors
     ///
     /// Same failure modes as [`AsipMachine::run`].
     pub fn run(&self, inputs: Vec<SimVal>) -> Result<SimOutcome, SimError> {
-        self.machine
-            .run_decoded(self.mir, &self.decoded, &self.entry, inputs)
+        if matches!(self.engine, Engine::Tree) {
+            return self.machine.run_interpreted(self.mir, &self.entry, inputs);
+        }
+        let idx = self.entry_idx.ok_or_else(|| {
+            SimError::new(format!("entry `{}` not found", self.entry), Span::dummy())
+        })?;
+        match self.engine {
+            Engine::Tree => unreachable!(),
+            Engine::Linear => self
+                .machine
+                .run_decoded_at(self.mir, &self.decoded, idx, inputs),
+            Engine::Native => {
+                let native = self
+                    .native
+                    .get_or_init(|| Arc::new(fuse_program(self.mir, &self.decoded)));
+                self.machine
+                    .run_native_at(self.mir, &self.decoded, native, idx, inputs)
+            }
+        }
     }
 
     /// The underlying machine.
     pub fn machine(&self) -> &AsipMachine {
         &self.machine
+    }
+
+    /// Selects which execution engine [`Simulator::run`] uses.
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// The selected execution engine.
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
+    /// Seeds the fused program cache (e.g. from a compilation pipeline
+    /// that shares one [`NativeProgram`] across many simulators). The
+    /// program must have been built by [`fuse_program`] from the same
+    /// decoded program this simulator runs.
+    pub fn with_native(self, native: Arc<NativeProgram>) -> Self {
+        let _ = self.native.set(native);
+        self
     }
 
     /// Caps the statement budget per [`Simulator::run`] (see
@@ -361,6 +436,9 @@ struct Exec<'a> {
     /// tree-walking reference path. Callees dispatch through the same
     /// engine as their caller.
     decoded: Option<&'a DecodedProgram>,
+    /// `Some` when running on the fused direct-threaded engine (implies
+    /// `decoded` is also `Some`, for name lookup).
+    native: Option<&'a NativeProgram>,
     // Cycle accounting as flat accumulators (array indexed by
     // `OpClass as usize`); folded into a `CycleReport` once at the end of
     // the run. `touched` marks classes that were charged at least once —
@@ -393,6 +471,7 @@ impl<'a> Exec<'a> {
             machine,
             mir,
             decoded,
+            native: None,
             total: 0,
             instructions: 0,
             by_class: [0; OpClass::COUNT],
@@ -430,14 +509,24 @@ impl<'a> Exec<'a> {
         self.machine.costs.supports[class as usize]
     }
 
+    #[inline(always)]
     fn charge(&mut self, class: OpClass, count: u64) {
         let c = self.machine.costs.cost[class as usize] as u64 * count;
         self.total += c;
         self.instructions += count;
         self.by_class[class as usize] += c;
         self.touched |= 1 << class as usize;
+        if self.profile.is_some() {
+            self.charge_profile(class, c, count);
+        }
+    }
+
+    /// The profiling half of [`Exec::charge`], kept out of line so the
+    /// accumulator updates inline into every handler.
+    #[inline(never)]
+    fn charge_profile(&mut self, class: OpClass, cycles: u64, count: u64) {
         if let Some(p) = &mut self.profile {
-            p.record(self.cur_span, class, c, count);
+            p.record(self.cur_span, class, cycles, count);
         }
     }
 
@@ -449,6 +538,7 @@ impl<'a> Exec<'a> {
         }
     }
 
+    #[inline(always)]
     fn burn(&mut self, span: Span) -> Result<(), SimError> {
         if self.fuel == 0 {
             return Err(SimError::fuel_exhausted(span));
@@ -572,7 +662,12 @@ impl<'a> Exec<'a> {
                     .func_index(name)
                     .ok_or_else(|| SimError::new(format!("call to unknown `{name}`"), span))?;
                 let mir = self.mir;
-                self.call_decoded(&mir.functions[idx], &decoded.funcs[idx], inputs)
+                match self.native {
+                    Some(native) => {
+                        self.call_native(&mir.functions[idx], &native.funcs[idx], inputs)
+                    }
+                    None => self.call_decoded(&mir.functions[idx], &decoded.funcs[idx], inputs),
+                }
             }
             None => {
                 let mir = self.mir;
@@ -601,12 +696,14 @@ impl<'a> Exec<'a> {
 
     // ---- value access -------------------------------------------------------
 
+    #[inline]
     fn get(&self, f: &MirFunction, env: &Env, v: VarId, span: Span) -> Result<SimVal, SimError> {
         env[v.0 as usize]
             .clone()
             .ok_or_else(|| SimError::new(format!("read of unset `{}`", f.var(v).name), span))
     }
 
+    #[inline]
     fn operand(
         &self,
         f: &MirFunction,
@@ -621,6 +718,7 @@ impl<'a> Exec<'a> {
         }
     }
 
+    #[inline]
     fn scalar_of(
         &self,
         f: &MirFunction,
@@ -633,6 +731,7 @@ impl<'a> Exec<'a> {
             .map_err(|m| SimError::new(m, span))
     }
 
+    #[inline]
     fn real_of(
         &self,
         f: &MirFunction,
@@ -644,6 +743,7 @@ impl<'a> Exec<'a> {
         Ok(z.re)
     }
 
+    #[inline]
     fn index0(&self, f: &MirFunction, env: &Env, op: Operand, span: Span) -> Result<i64, SimError> {
         Ok(self.real_of(f, env, op, span)? as i64 - 1)
     }
@@ -808,3 +908,5 @@ impl<'a> Exec<'a> {
 include!("sim_linear.rs");
 include!("sim_part2.rs");
 include!("sim_part3.rs");
+include!("fuse.rs");
+include!("sim_native.rs");

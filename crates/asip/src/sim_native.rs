@@ -1,0 +1,1887 @@
+// The fused direct-threaded execution engine — included from sim.rs.
+//
+// Executes the `NativeProgram` form built by fuse.rs: a flat table of
+// steps, each a pre-selected fn pointer, with straight-line `Def`/`Store`
+// runs collapsed into superinstructions of micro-ops. The dispatch loop is
+// `pc = (step.run)(...)` — no instruction-enum match — and micro-ops with
+// scalar-specialized fast paths skip the generic `Rvalue` machinery
+// entirely, falling back to it whenever a runtime value shape disagrees
+// with the specialization.
+//
+// Bit-exactness contract: every handler burns fuel, charges cycles, and
+// raises errors in exactly the order the linear engine's handlers in
+// sim_linear.rs would. `cur_span` is only ever read by the profiler, so
+// handlers skip the span bookkeeping entirely when profiling is off.
+
+impl<'a> Exec<'a> {
+    /// Calls `f` through its fused body — same prologue/epilogue as
+    /// `call_decoded`.
+    fn call_native(
+        &mut self,
+        f: &'a MirFunction,
+        nfunc: &'a NativeFunction,
+        inputs: Vec<SimVal>,
+    ) -> Result<Vec<SimVal>, SimError> {
+        if self.depth > 128 {
+            return Err(SimError::new("call depth exceeded", Span::dummy()));
+        }
+        if inputs.len() != f.params.len() {
+            return Err(SimError::new(
+                format!(
+                    "`{}` expects {} inputs, got {}",
+                    f.name,
+                    f.params.len(),
+                    inputs.len()
+                ),
+                Span::dummy(),
+            ));
+        }
+        self.depth += 1;
+        self.charge(OpClass::Call, 1);
+        let mut env: Env = vec![None; f.vars.len()];
+        for (&p, val) in f.params.iter().zip(inputs) {
+            // Coerce per the register's representation.
+            let coerced = if f.var_ty(p).shape.is_scalar() {
+                SimVal::Scalar(val.as_cx().map_err(|m| SimError::new(m, Span::dummy()))?)
+            } else {
+                SimVal::Arr(val.into_matrix())
+            };
+            env[p.0 as usize] = Some(coerced);
+        }
+        self.exec_native(f, nfunc, &mut env)?;
+        let mut outs = Vec::new();
+        for &o in &f.outputs {
+            outs.push(env[o.0 as usize].clone().ok_or_else(|| {
+                SimError::new(
+                    format!("output `{}` never assigned", f.var(o).name),
+                    Span::dummy(),
+                )
+            })?);
+        }
+        self.depth -= 1;
+        Ok(outs)
+    }
+
+    fn exec_native(
+        &mut self,
+        f: &MirFunction,
+        nfunc: &NativeFunction,
+        env: &mut Env,
+    ) -> Result<(), SimError> {
+        let steps = &nfunc.steps;
+        let mut frames: Vec<Frame> = Vec::new();
+        let mut pc = 0u32;
+        while let Some(step) = steps.get(pc as usize) {
+            pc = (step.run)(self, f, env, &mut frames, step, pc)?;
+        }
+        Ok(())
+    }
+}
+
+// ---- shared fast-path helpers ---------------------------------------------
+
+#[cold]
+fn unset_err(f: &MirFunction, v: VarId, span: Span) -> SimError {
+    SimError::new(format!("read of unset `{}`", f.var(v).name), span)
+}
+
+/// Fetches an operand if it resolves to a scalar right now: `Ok(Some)` on a
+/// scalar, `Ok(None)` when the value is array-shaped (caller falls back to
+/// the generic path), `Err(v)` when the register is unset.
+#[inline(always)]
+fn slot_scalar(env: &Env, op: Operand) -> Result<Option<Cx>, VarId> {
+    match op {
+        Operand::Const(v) => Ok(Some(Cx::real(v))),
+        Operand::ConstC(re, im) => Ok(Some(Cx::new(re, im))),
+        Operand::Var(v) => match &env[v.0 as usize] {
+            Some(SimVal::Scalar(z)) => Ok(Some(*z)),
+            Some(SimVal::Arr(_)) => Ok(None),
+            None => Err(v),
+        },
+    }
+}
+
+/// The `Def` epilogue: coerce to the destination register's representation
+/// and write the slot (same as the linear engine's `DInst::Def` arm).
+#[inline(always)]
+fn def_finish(env: &mut Env, dst: VarId, scalar_dst: bool, val: SimVal) {
+    let val = if scalar_dst {
+        match val {
+            SimVal::Arr(m) if m.is_scalar() => SimVal::Scalar(m.lin(0)),
+            other => other,
+        }
+    } else {
+        match val {
+            SimVal::Scalar(z) => SimVal::Arr(Matrix::scalar(z)),
+            other => other,
+        }
+    };
+    env[dst.0 as usize] = Some(val);
+}
+
+// ---- micro-op handlers ----------------------------------------------------
+
+fn micro_bin(
+    exec: &mut Exec<'_>,
+    f: &MirFunction,
+    env: &mut Env,
+    data: &MicroData,
+) -> Result<(), SimError> {
+    let MicroData::Bin {
+        op,
+        a,
+        b,
+        dst,
+        scalar_dst,
+        span,
+        ..
+    } = data
+    else {
+        unreachable!()
+    };
+    exec.burn(Span::dummy())?;
+    if exec.profile.is_some() {
+        exec.cur_span = *span;
+    }
+    let x = match slot_scalar(env, *a) {
+        Ok(Some(z)) => Some(z),
+        Ok(None) => None,
+        Err(v) => return Err(unset_err(f, v, *span)),
+    };
+    let y = match slot_scalar(env, *b) {
+        Ok(Some(z)) => Some(z),
+        Ok(None) => None,
+        Err(v) => return Err(unset_err(f, v, *span)),
+    };
+    let (Some(x), Some(y)) = (x, y) else {
+        // Array operand: the generic path re-fetches (no side effects) and
+        // handles element-wise/matmul semantics.
+        let val = exec.eval_binary(f, env, *op, *a, *b, *span)?;
+        def_finish(env, *dst, *scalar_dst, val);
+        return Ok(());
+    };
+    let complex = !x.is_real() || !y.is_real();
+    exec.scalar_binop_cost(*op, complex);
+    let z = apply_binop_scalar(*op, x, y).map_err(|m| SimError::new(m, *span))?;
+    env[dst.0 as usize] = Some(if *scalar_dst {
+        SimVal::Scalar(z)
+    } else {
+        SimVal::Arr(Matrix::scalar(z))
+    });
+    Ok(())
+}
+
+/// `micro_bin` with the real-operand cost class and the compute fn
+/// pre-selected at fuse time (every op except `&&`/`||`, whose scalar
+/// application errors through `apply_binop_scalar`).
+fn micro_bin_fast(
+    exec: &mut Exec<'_>,
+    f: &MirFunction,
+    env: &mut Env,
+    data: &MicroData,
+) -> Result<(), SimError> {
+    let MicroData::Bin {
+        op,
+        class,
+        evalf,
+        a,
+        b,
+        dst,
+        scalar_dst,
+        span,
+    } = data
+    else {
+        unreachable!()
+    };
+    exec.burn(Span::dummy())?;
+    if exec.profile.is_some() {
+        exec.cur_span = *span;
+    }
+    match (slot_scalar(env, *a), slot_scalar(env, *b)) {
+        (Ok(Some(x)), Ok(Some(y))) => {
+            if x.is_real() && y.is_real() {
+                exec.charge(*class, 1);
+            } else {
+                exec.scalar_binop_cost(*op, true);
+            }
+            let z = evalf(x, y);
+            env[dst.0 as usize] = Some(if *scalar_dst {
+                SimVal::Scalar(z)
+            } else {
+                SimVal::Arr(Matrix::scalar(z))
+            });
+            Ok(())
+        }
+        (Err(v), _) | (_, Err(v)) => Err(unset_err(f, v, *span)),
+        _ => {
+            // Array operand: the generic path re-fetches (no side effects)
+            // and handles element-wise/matmul semantics.
+            let val = exec.eval_binary(f, env, *op, *a, *b, *span)?;
+            def_finish(env, *dst, *scalar_dst, val);
+            Ok(())
+        }
+    }
+}
+
+fn micro_copy(
+    exec: &mut Exec<'_>,
+    f: &MirFunction,
+    env: &mut Env,
+    data: &MicroData,
+) -> Result<(), SimError> {
+    let MicroData::Copy {
+        a,
+        dst,
+        scalar_dst,
+        span,
+    } = data
+    else {
+        unreachable!()
+    };
+    exec.burn(Span::dummy())?;
+    if exec.profile.is_some() {
+        exec.cur_span = *span;
+    }
+    match slot_scalar(env, *a) {
+        Ok(Some(z)) => {
+            exec.charge(OpClass::ScalarAlu, 1);
+            def_finish(env, *dst, *scalar_dst, SimVal::Scalar(z));
+        }
+        Ok(None) => {
+            // Value-semantics copy through memory (Rc clone at runtime).
+            let Operand::Var(v) = *a else { unreachable!() };
+            let n = match &env[v.0 as usize] {
+                Some(SimVal::Arr(m)) => m.numel() as u64,
+                _ => unreachable!(),
+            };
+            exec.charge(OpClass::Load, n);
+            exec.charge(OpClass::Store, n);
+            let val = env[v.0 as usize].clone().unwrap();
+            def_finish(env, *dst, *scalar_dst, val);
+        }
+        Err(v) => return Err(unset_err(f, v, *span)),
+    }
+    Ok(())
+}
+
+fn micro_un(
+    exec: &mut Exec<'_>,
+    f: &MirFunction,
+    env: &mut Env,
+    data: &MicroData,
+) -> Result<(), SimError> {
+    let MicroData::Un {
+        op,
+        a,
+        dst,
+        scalar_dst,
+        span,
+    } = data
+    else {
+        unreachable!()
+    };
+    exec.burn(Span::dummy())?;
+    if exec.profile.is_some() {
+        exec.cur_span = *span;
+    }
+    match slot_scalar(env, *a) {
+        Ok(Some(z)) => {
+            exec.charge(OpClass::ScalarAlu, 1);
+            def_finish(env, *dst, *scalar_dst, SimVal::Scalar(apply_unop(*op, z)));
+        }
+        Ok(None) => {
+            let rv = Rvalue::Unary { op: *op, a: *a };
+            let val = exec.eval_rvalue(f, env, *dst, &rv, *span)?;
+            def_finish(env, *dst, *scalar_dst, val);
+        }
+        Err(v) => return Err(unset_err(f, v, *span)),
+    }
+    Ok(())
+}
+
+fn micro_load1(
+    exec: &mut Exec<'_>,
+    f: &MirFunction,
+    env: &mut Env,
+    data: &MicroData,
+) -> Result<(), SimError> {
+    let MicroData::Load1 {
+        arr,
+        idx,
+        dst,
+        scalar_dst,
+        span,
+    } = data
+    else {
+        unreachable!()
+    };
+    exec.burn(Span::dummy())?;
+    if exec.profile.is_some() {
+        exec.cur_span = *span;
+    }
+    let fallback = |exec: &mut Exec<'_>, env: &mut Env| -> Result<(), SimError> {
+        let val = exec.eval_index(f, env, *arr, &[Index::Scalar(*idx)], *span)?;
+        def_finish(env, *dst, *scalar_dst, val);
+        Ok(())
+    };
+    // The generic path reads the base register first, so its unset error
+    // precedes any subscript error.
+    match &env[arr.0 as usize] {
+        Some(SimVal::Arr(_)) => {}
+        Some(SimVal::Scalar(_)) => return fallback(exec, env),
+        None => return Err(unset_err(f, *arr, *span)),
+    }
+    let z = match slot_scalar(env, *idx) {
+        Ok(Some(z)) => z,
+        Ok(None) => return fallback(exec, env), // gather subscript
+        Err(v) => return Err(unset_err(f, v, *span)),
+    };
+    let k = z.re as i64 - 1;
+    let (elem, numel) = match &env[arr.0 as usize] {
+        Some(SimVal::Arr(m)) => (
+            m.data().get(k.max(0) as usize).copied().filter(|_| k >= 0),
+            m.numel(),
+        ),
+        _ => unreachable!(),
+    };
+    exec.charge(OpClass::ScalarAlu, 1);
+    exec.charge(OpClass::Load, 1);
+    let z = elem.ok_or_else(|| {
+        SimError::new(format!("index {} out of bounds ({})", k + 1, numel), *span)
+    })?;
+    def_finish(env, *dst, *scalar_dst, SimVal::Scalar(z));
+    Ok(())
+}
+
+fn micro_load2(
+    exec: &mut Exec<'_>,
+    f: &MirFunction,
+    env: &mut Env,
+    data: &MicroData,
+) -> Result<(), SimError> {
+    let MicroData::Load2 {
+        arr,
+        r,
+        c,
+        dst,
+        scalar_dst,
+        span,
+    } = data
+    else {
+        unreachable!()
+    };
+    exec.burn(Span::dummy())?;
+    if exec.profile.is_some() {
+        exec.cur_span = *span;
+    }
+    let fallback = |exec: &mut Exec<'_>, env: &mut Env| -> Result<(), SimError> {
+        let val = exec.eval_index(f, env, *arr, &[Index::Scalar(*r), Index::Scalar(*c)], *span)?;
+        def_finish(env, *dst, *scalar_dst, val);
+        Ok(())
+    };
+    match &env[arr.0 as usize] {
+        Some(SimVal::Arr(_)) => {}
+        Some(SimVal::Scalar(_)) => return fallback(exec, env),
+        None => return Err(unset_err(f, *arr, *span)),
+    }
+    let zr = match slot_scalar(env, *r) {
+        Ok(Some(z)) => z,
+        Ok(None) => return fallback(exec, env),
+        Err(v) => return Err(unset_err(f, v, *span)),
+    };
+    let zc = match slot_scalar(env, *c) {
+        Ok(Some(z)) => z,
+        Ok(None) => return fallback(exec, env),
+        Err(v) => return Err(unset_err(f, v, *span)),
+    };
+    let (r0, c0) = (zr.re as i64 - 1, zc.re as i64 - 1);
+    let elem = match &env[arr.0 as usize] {
+        Some(SimVal::Arr(m)) => {
+            let ok = r0 >= 0 && c0 >= 0 && (r0 as usize) < m.rows() && (c0 as usize) < m.cols();
+            ok.then(|| m.at(r0 as usize, c0 as usize))
+        }
+        _ => unreachable!(),
+    };
+    exec.charge(OpClass::ScalarAlu, 2);
+    exec.charge(OpClass::Load, 1);
+    let z = elem.ok_or_else(|| {
+        SimError::new(
+            format!("index ({}, {}) out of bounds", r0 + 1, c0 + 1),
+            *span,
+        )
+    })?;
+    def_finish(env, *dst, *scalar_dst, SimVal::Scalar(z));
+    Ok(())
+}
+
+fn micro_store1(
+    exec: &mut Exec<'_>,
+    f: &MirFunction,
+    env: &mut Env,
+    data: &MicroData,
+) -> Result<(), SimError> {
+    let MicroData::Store1 {
+        arr,
+        idx,
+        value,
+        span,
+    } = data
+    else {
+        unreachable!()
+    };
+    exec.burn(Span::dummy())?;
+    if exec.profile.is_some() {
+        exec.cur_span = *span;
+    }
+    let fallback = |exec: &mut Exec<'_>, env: &mut Env| -> Result<(), SimError> {
+        exec.exec_store(f, env, *arr, &[Index::Scalar(*idx)], *value, *span)
+    };
+    // Generic order: value fetch, then destination take, then subscript.
+    let zval = match slot_scalar(env, *value) {
+        Ok(Some(z)) => z,
+        Ok(None) => return fallback(exec, env), // array value (as_cx may broadcast)
+        Err(v) => return Err(unset_err(f, v, *span)),
+    };
+    match &env[arr.0 as usize] {
+        Some(SimVal::Arr(_)) => {}
+        Some(SimVal::Scalar(_)) => return fallback(exec, env),
+        None => return Err(unset_err(f, *arr, *span)),
+    }
+    let zi = match slot_scalar(env, *idx) {
+        Ok(Some(z)) => z,
+        Ok(None) => return fallback(exec, env),
+        Err(v) => return Err(unset_err(f, v, *span)),
+    };
+    let k = z_index(zi);
+    exec.charge(OpClass::ScalarAlu, 1);
+    exec.charge(OpClass::Store, 1);
+    let Some(SimVal::Arr(m)) = &mut env[arr.0 as usize] else {
+        unreachable!()
+    };
+    let n = m.numel();
+    if k < 0 || k as usize >= n {
+        return Err(SimError::new(
+            format!("store index {} out of bounds ({n})", k + 1),
+            *span,
+        ));
+    }
+    m.data_mut()[k as usize] = zval;
+    Ok(())
+}
+
+#[inline(always)]
+fn z_index(z: Cx) -> i64 {
+    z.re as i64 - 1
+}
+
+fn micro_store2(
+    exec: &mut Exec<'_>,
+    f: &MirFunction,
+    env: &mut Env,
+    data: &MicroData,
+) -> Result<(), SimError> {
+    let MicroData::Store2 {
+        arr,
+        r,
+        c,
+        value,
+        span,
+    } = data
+    else {
+        unreachable!()
+    };
+    exec.burn(Span::dummy())?;
+    if exec.profile.is_some() {
+        exec.cur_span = *span;
+    }
+    let fallback = |exec: &mut Exec<'_>, env: &mut Env| -> Result<(), SimError> {
+        exec.exec_store(
+            f,
+            env,
+            *arr,
+            &[Index::Scalar(*r), Index::Scalar(*c)],
+            *value,
+            *span,
+        )
+    };
+    let zval = match slot_scalar(env, *value) {
+        Ok(Some(z)) => z,
+        Ok(None) => return fallback(exec, env),
+        Err(v) => return Err(unset_err(f, v, *span)),
+    };
+    match &env[arr.0 as usize] {
+        Some(SimVal::Arr(_)) => {}
+        Some(SimVal::Scalar(_)) => return fallback(exec, env),
+        None => return Err(unset_err(f, *arr, *span)),
+    }
+    let zr = match slot_scalar(env, *r) {
+        Ok(Some(z)) => z,
+        Ok(None) => return fallback(exec, env),
+        Err(v) => return Err(unset_err(f, v, *span)),
+    };
+    let zc = match slot_scalar(env, *c) {
+        Ok(Some(z)) => z,
+        Ok(None) => return fallback(exec, env),
+        Err(v) => return Err(unset_err(f, v, *span)),
+    };
+    let (r0, c0) = (z_index(zr), z_index(zc));
+    exec.charge(OpClass::ScalarAlu, 2);
+    exec.charge(OpClass::Store, 1);
+    let Some(SimVal::Arr(m)) = &mut env[arr.0 as usize] else {
+        unreachable!()
+    };
+    if r0 < 0 || c0 < 0 || r0 as usize >= m.rows() || c0 as usize >= m.cols() {
+        return Err(SimError::new("2-D store out of bounds", *span));
+    }
+    *m.at_mut(r0 as usize, c0 as usize) = zval;
+    Ok(())
+}
+
+/// Executes a compiled scalar chain (see [`ChainData`]): one dispatch and
+/// one fuel check for the whole run, intermediates in a stack-local temp
+/// array, environment writes only where a value escapes the chain. Falls
+/// back to the original micro sequence whenever profiling is on, fuel may
+/// run out mid-chain, or a shape guard fails — before any side effect, so
+/// the fallback replays from a clean slate.
+fn micro_chain(
+    exec: &mut Exec<'_>,
+    f: &MirFunction,
+    env: &mut Env,
+    data: &MicroData,
+) -> Result<(), SimError> {
+    let MicroData::Chain(ch) = data else {
+        unreachable!()
+    };
+    let n = ch.ops.len() as u64;
+    if exec.profile.is_some() || exec.fuel < n {
+        return run_chain_fallback(exec, f, env, &ch.fallback);
+    }
+    for g in &ch.guards {
+        let ok = match g {
+            Guard::Scalar(s) => matches!(&env[*s as usize], Some(SimVal::Scalar(_))),
+            Guard::Arr(s) => matches!(&env[*s as usize], Some(SimVal::Arr(_))),
+        };
+        if !ok {
+            return run_chain_fallback(exec, f, env, &ch.fallback);
+        }
+    }
+    // Every chained micro burns exactly one fuel; with `fuel >= n`
+    // exhaustion cannot occur mid-chain, so the per-op burns collapse to
+    // one subtraction (errors abort the run, leaving fuel unobservable).
+    exec.fuel -= n;
+    chain_run_fast(exec, env, ch)
+}
+
+/// Optimistic chain pass: computes values with cycle charges deferred.
+/// Valid while every `Bin` input is real — the only value-dependent cost —
+/// so on success the whole chain's accounting collapses to one batched
+/// `charge` per touched class from the precomputed `real_counts`
+/// (bit-identical: `charge(c, k1 + k2)` ≡ `charge(c, k1); charge(c, k2)`,
+/// and charge order within a chain is invisible with profiling off). The
+/// first complex input deoptimizes: settle the all-real prefix's charges
+/// exactly, then finish per-op in `chain_run_exact`.
+#[inline(never)]
+fn chain_run_fast(exec: &mut Exec<'_>, env: &mut Env, ch: &ChainData) -> Result<(), SimError> {
+    let ops: &[ChainOp] = &ch.ops;
+    let mut tmps = [Cx::ZERO; CHAIN_MAX];
+    let mut deopt = ops.len();
+    'fast: for (i, op) in ops.iter().enumerate() {
+        let z = match &op.kind {
+            CKind::Bin { evalf, .. } => {
+                let x = rd(op.a, &tmps, env);
+                let y = rd(op.b, &tmps, env);
+                if !(x.is_real() && y.is_real()) {
+                    deopt = i;
+                    break 'fast;
+                }
+                evalf(x, y)
+            }
+            CKind::Un(uop) => apply_unop(*uop, rd(op.a, &tmps, env)),
+            CKind::Copy => rd(op.a, &tmps, env),
+            CKind::Load1 { arr } => {
+                let k = rd(op.a, &tmps, env).re as i64 - 1;
+                let (elem, numel) = match &env[*arr as usize] {
+                    Some(SimVal::Arr(m)) => (
+                        m.data().get(k.max(0) as usize).copied().filter(|_| k >= 0),
+                        m.numel(),
+                    ),
+                    _ => unreachable!("guarded array slot"),
+                };
+                match elem {
+                    Some(z) => z,
+                    None => return chain_oob(exec, ops, i, load1_oob(k, numel, op.span)),
+                }
+            }
+            CKind::Load2 { arr } => {
+                let r0 = rd(op.a, &tmps, env).re as i64 - 1;
+                let c0 = rd(op.b, &tmps, env).re as i64 - 1;
+                let elem = match &env[*arr as usize] {
+                    Some(SimVal::Arr(m)) => {
+                        let ok = r0 >= 0
+                            && c0 >= 0
+                            && (r0 as usize) < m.rows()
+                            && (c0 as usize) < m.cols();
+                        ok.then(|| m.at(r0 as usize, c0 as usize))
+                    }
+                    _ => unreachable!("guarded array slot"),
+                };
+                match elem {
+                    Some(z) => z,
+                    None => return chain_oob(exec, ops, i, load2_oob(r0, c0, op.span)),
+                }
+            }
+            CKind::Store1 { arr } => {
+                let k = z_index(rd(op.a, &tmps, env));
+                let zval = rd(op.b, &tmps, env);
+                let Some(SimVal::Arr(m)) = &mut env[*arr as usize] else {
+                    unreachable!("guarded array slot")
+                };
+                let total = m.numel();
+                if k < 0 || k as usize >= total {
+                    return chain_oob(exec, ops, i, store1_oob(k, total, op.span));
+                }
+                m.data_mut()[k as usize] = zval;
+                continue 'fast;
+            }
+            CKind::Store2 { arr } => {
+                let r0 = z_index(rd(op.a, &tmps, env));
+                let c0 = z_index(rd(op.b, &tmps, env));
+                let zval = rd(op.c, &tmps, env);
+                let Some(SimVal::Arr(m)) = &mut env[*arr as usize] else {
+                    unreachable!("guarded array slot")
+                };
+                if r0 < 0 || c0 < 0 || r0 as usize >= m.rows() || c0 as usize >= m.cols() {
+                    return chain_oob(
+                        exec,
+                        ops,
+                        i,
+                        SimError::new("2-D store out of bounds", op.span),
+                    );
+                }
+                *m.at_mut(r0 as usize, c0 as usize) = zval;
+                continue 'fast;
+            }
+        };
+        tmps[i] = z;
+        if op.env_dst != u32::MAX {
+            env[op.env_dst as usize] = Some(if op.scalar_dst {
+                SimVal::Scalar(z)
+            } else {
+                SimVal::Arr(Matrix::scalar(z))
+            });
+        }
+    }
+    if deopt == ops.len() {
+        for &class in OpClass::ALL {
+            let cnt = ch.real_counts[class as usize];
+            if cnt != 0 {
+                exec.charge(class, cnt as u64);
+            }
+        }
+        return Ok(());
+    }
+    // Deoptimized tail: ops[..deopt] completed with all-real charges
+    // pending; settle them, then run the rest with exact accounting.
+    for op in &ops[..deopt] {
+        chain_charge_real(exec, op);
+    }
+    chain_run_exact(exec, env, ops, deopt, &mut tmps)
+}
+
+/// Reads one chain source: an immediate, a temp produced earlier in the
+/// chain, or a guarded scalar environment slot.
+#[inline(always)]
+fn rd(s: CSrc, tmps: &[Cx; CHAIN_MAX], env: &Env) -> Cx {
+    match s {
+        CSrc::Const(z) => z,
+        CSrc::Tmp(t) => tmps[t as usize],
+        CSrc::Env(slot) => match &env[slot as usize] {
+            Some(SimVal::Scalar(z)) => *z,
+            _ => unreachable!("guarded scalar slot"),
+        },
+    }
+}
+
+#[cold]
+fn load1_oob(k: i64, numel: usize, span: Span) -> SimError {
+    SimError::new(format!("index {} out of bounds ({})", k + 1, numel), span)
+}
+
+#[cold]
+fn load2_oob(r0: i64, c0: i64, span: Span) -> SimError {
+    SimError::new(
+        format!("index ({}, {}) out of bounds", r0 + 1, c0 + 1),
+        span,
+    )
+}
+
+#[cold]
+fn store1_oob(k: i64, total: usize, span: Span) -> SimError {
+    SimError::new(format!("store index {} out of bounds ({total})", k + 1), span)
+}
+
+/// Error exit from the optimistic pass at op `i`: settles the deferred
+/// all-real charges for `ops[..i]` plus the failing op's own charges
+/// (which the micro issues before raising the bounds error), then
+/// propagates the error.
+#[cold]
+fn chain_oob(
+    exec: &mut Exec<'_>,
+    ops: &[ChainOp],
+    i: usize,
+    err: SimError,
+) -> Result<(), SimError> {
+    for op in &ops[..=i] {
+        chain_charge_real(exec, op);
+    }
+    Err(err)
+}
+
+/// The exact per-op charge sequence of one chain op with real inputs;
+/// must mirror `chain_real_counts` (fuse.rs) and the micro handlers.
+fn chain_charge_real(exec: &mut Exec<'_>, op: &ChainOp) {
+    match &op.kind {
+        CKind::Bin { class, .. } => exec.charge(*class, 1),
+        CKind::Un(_) | CKind::Copy => exec.charge(OpClass::ScalarAlu, 1),
+        CKind::Load1 { .. } => {
+            exec.charge(OpClass::ScalarAlu, 1);
+            exec.charge(OpClass::Load, 1);
+        }
+        CKind::Load2 { .. } => {
+            exec.charge(OpClass::ScalarAlu, 2);
+            exec.charge(OpClass::Load, 1);
+        }
+        CKind::Store1 { .. } => {
+            exec.charge(OpClass::ScalarAlu, 1);
+            exec.charge(OpClass::Store, 1);
+        }
+        CKind::Store2 { .. } => {
+            exec.charge(OpClass::ScalarAlu, 2);
+            exec.charge(OpClass::Store, 1);
+        }
+    }
+}
+
+/// Finishes a chain from op `start` with exact per-op accounting (the
+/// deoptimized path, taken once a complex value appears). Fuel for the
+/// whole chain was already subtracted.
+#[inline(never)]
+fn chain_run_exact(
+    exec: &mut Exec<'_>,
+    env: &mut Env,
+    ops: &[ChainOp],
+    start: usize,
+    tmps: &mut [Cx; CHAIN_MAX],
+) -> Result<(), SimError> {
+    for (i, op) in ops.iter().enumerate().skip(start) {
+        let z = match &op.kind {
+            CKind::Bin { op: bop, class, evalf } => {
+                let x = rd(op.a, tmps, env);
+                let y = rd(op.b, tmps, env);
+                if x.is_real() && y.is_real() {
+                    exec.charge(*class, 1);
+                } else {
+                    exec.scalar_binop_cost(*bop, true);
+                }
+                evalf(x, y)
+            }
+            CKind::Un(uop) => {
+                let x = rd(op.a, tmps, env);
+                exec.charge(OpClass::ScalarAlu, 1);
+                apply_unop(*uop, x)
+            }
+            CKind::Copy => {
+                let x = rd(op.a, tmps, env);
+                exec.charge(OpClass::ScalarAlu, 1);
+                x
+            }
+            CKind::Load1 { arr } => {
+                let k = rd(op.a, tmps, env).re as i64 - 1;
+                let (elem, numel) = match &env[*arr as usize] {
+                    Some(SimVal::Arr(m)) => (
+                        m.data().get(k.max(0) as usize).copied().filter(|_| k >= 0),
+                        m.numel(),
+                    ),
+                    _ => unreachable!("guarded array slot"),
+                };
+                exec.charge(OpClass::ScalarAlu, 1);
+                exec.charge(OpClass::Load, 1);
+                match elem {
+                    Some(z) => z,
+                    None => return Err(load1_oob(k, numel, op.span)),
+                }
+            }
+            CKind::Load2 { arr } => {
+                let r0 = rd(op.a, tmps, env).re as i64 - 1;
+                let c0 = rd(op.b, tmps, env).re as i64 - 1;
+                let elem = match &env[*arr as usize] {
+                    Some(SimVal::Arr(m)) => {
+                        let ok = r0 >= 0
+                            && c0 >= 0
+                            && (r0 as usize) < m.rows()
+                            && (c0 as usize) < m.cols();
+                        ok.then(|| m.at(r0 as usize, c0 as usize))
+                    }
+                    _ => unreachable!("guarded array slot"),
+                };
+                exec.charge(OpClass::ScalarAlu, 2);
+                exec.charge(OpClass::Load, 1);
+                match elem {
+                    Some(z) => z,
+                    None => return Err(load2_oob(r0, c0, op.span)),
+                }
+            }
+            CKind::Store1 { arr } => {
+                let k = z_index(rd(op.a, tmps, env));
+                let zval = rd(op.b, tmps, env);
+                exec.charge(OpClass::ScalarAlu, 1);
+                exec.charge(OpClass::Store, 1);
+                let Some(SimVal::Arr(m)) = &mut env[*arr as usize] else {
+                    unreachable!("guarded array slot")
+                };
+                let total = m.numel();
+                if k < 0 || k as usize >= total {
+                    return Err(store1_oob(k, total, op.span));
+                }
+                m.data_mut()[k as usize] = zval;
+                continue;
+            }
+            CKind::Store2 { arr } => {
+                let r0 = z_index(rd(op.a, tmps, env));
+                let c0 = z_index(rd(op.b, tmps, env));
+                let zval = rd(op.c, tmps, env);
+                exec.charge(OpClass::ScalarAlu, 2);
+                exec.charge(OpClass::Store, 1);
+                let Some(SimVal::Arr(m)) = &mut env[*arr as usize] else {
+                    unreachable!("guarded array slot")
+                };
+                if r0 < 0 || c0 < 0 || r0 as usize >= m.rows() || c0 as usize >= m.cols() {
+                    return Err(SimError::new("2-D store out of bounds", op.span));
+                }
+                *m.at_mut(r0 as usize, c0 as usize) = zval;
+                continue;
+            }
+        };
+        tmps[i] = z;
+        if op.env_dst != u32::MAX {
+            env[op.env_dst as usize] = Some(if op.scalar_dst {
+                SimVal::Scalar(z)
+            } else {
+                SimVal::Arr(Matrix::scalar(z))
+            });
+        }
+    }
+    Ok(())
+}
+
+/// The chain's slow path: replays the original micro sequence.
+#[inline(never)]
+fn run_chain_fallback(
+    exec: &mut Exec<'_>,
+    f: &MirFunction,
+    env: &mut Env,
+    micros: &[Micro],
+) -> Result<(), SimError> {
+    for m in micros {
+        (m.run)(exec, f, env, &m.data)?;
+    }
+    Ok(())
+}
+
+fn micro_def_generic(
+    exec: &mut Exec<'_>,
+    f: &MirFunction,
+    env: &mut Env,
+    data: &MicroData,
+) -> Result<(), SimError> {
+    let MicroData::Def {
+        dst,
+        scalar_dst,
+        rv,
+        span,
+    } = data
+    else {
+        unreachable!()
+    };
+    exec.burn(Span::dummy())?;
+    if exec.profile.is_some() {
+        exec.cur_span = *span;
+    }
+    let val = exec.eval_rvalue(f, env, *dst, rv, *span)?;
+    def_finish(env, *dst, *scalar_dst, val);
+    Ok(())
+}
+
+fn micro_store_generic(
+    exec: &mut Exec<'_>,
+    f: &MirFunction,
+    env: &mut Env,
+    data: &MicroData,
+) -> Result<(), SimError> {
+    let MicroData::Store {
+        array,
+        indices,
+        value,
+        span,
+    } = data
+    else {
+        unreachable!()
+    };
+    exec.burn(Span::dummy())?;
+    if exec.profile.is_some() {
+        exec.cur_span = *span;
+    }
+    exec.exec_store(f, env, *array, indices, *value, *span)
+}
+
+// ---- step handlers --------------------------------------------------------
+
+fn step_super(
+    exec: &mut Exec<'_>,
+    f: &MirFunction,
+    env: &mut Env,
+    _frames: &mut Vec<Frame>,
+    step: &NStep,
+    pc: u32,
+) -> Result<u32, SimError> {
+    let NData::Super(micros) = &step.data else {
+        unreachable!()
+    };
+    for m in micros {
+        (m.run)(exec, f, env, &m.data)?;
+    }
+    Ok(pc + 1)
+}
+
+fn step_branch_burning(
+    exec: &mut Exec<'_>,
+    f: &MirFunction,
+    env: &mut Env,
+    frames: &mut Vec<Frame>,
+    step: &NStep,
+    pc: u32,
+) -> Result<u32, SimError> {
+    exec.burn(Span::dummy())?;
+    step_branch(exec, f, env, frames, step, pc)
+}
+
+fn step_branch(
+    exec: &mut Exec<'_>,
+    f: &MirFunction,
+    env: &mut Env,
+    frames: &mut Vec<Frame>,
+    step: &NStep,
+    pc: u32,
+) -> Result<u32, SimError> {
+    let NData::Branch {
+        cond,
+        if_false,
+        exit_loop,
+        span,
+    } = &step.data
+    else {
+        unreachable!()
+    };
+    if exec.profile.is_some() {
+        exec.cur_span = *span;
+    }
+    exec.charge(OpClass::Branch, 1);
+    if exec.truthy(f, env, *cond)? {
+        Ok(pc + 1)
+    } else {
+        if *exit_loop {
+            frames.pop();
+        }
+        Ok(*if_false)
+    }
+}
+
+fn step_jump(
+    _exec: &mut Exec<'_>,
+    _f: &MirFunction,
+    _env: &mut Env,
+    _frames: &mut Vec<Frame>,
+    step: &NStep,
+    _pc: u32,
+) -> Result<u32, SimError> {
+    let NData::Jump { target } = &step.data else {
+        unreachable!()
+    };
+    Ok(*target)
+}
+
+fn step_for_setup(
+    exec: &mut Exec<'_>,
+    f: &MirFunction,
+    env: &mut Env,
+    frames: &mut Vec<Frame>,
+    step: &NStep,
+    pc: u32,
+) -> Result<u32, SimError> {
+    let NData::ForSetup {
+        var,
+        start,
+        step: st_op,
+        stop,
+    } = &step.data
+    else {
+        unreachable!()
+    };
+    exec.burn(Span::dummy())?;
+    let span = Span::dummy();
+    let s = exec.real_of(f, env, *start, span)?;
+    let st = exec.real_of(f, env, *st_op, span)?;
+    let e = exec.real_of(f, env, *stop, span)?;
+    let n = if st == 0.0 {
+        0
+    } else {
+        (((e - s) / st + 1e-10).floor() as i64 + 1).max(0)
+    };
+    frames.push(Frame::For {
+        var: *var,
+        s,
+        st,
+        n,
+        k: 0,
+    });
+    Ok(pc + 1)
+}
+
+fn step_for_next(
+    exec: &mut Exec<'_>,
+    _f: &MirFunction,
+    env: &mut Env,
+    frames: &mut Vec<Frame>,
+    step: &NStep,
+    pc: u32,
+) -> Result<u32, SimError> {
+    let NData::ForNext { end, span } = &step.data else {
+        unreachable!()
+    };
+    let Some(Frame::For { var, s, st, n, k }) = frames.last_mut() else {
+        unreachable!("ForNext without a for frame");
+    };
+    if *k >= *n {
+        frames.pop();
+        Ok(*end)
+    } else {
+        let (var, value) = (*var, *s + *st * *k as f64);
+        *k += 1;
+        exec.burn(Span::dummy())?;
+        if exec.profile.is_some() {
+            exec.cur_span = *span;
+        }
+        // Loop control: induction update + branch.
+        exec.charge(OpClass::ScalarAlu, 1);
+        exec.charge(OpClass::Branch, 1);
+        exec.set(env, var, SimVal::scalar(value));
+        Ok(pc + 1)
+    }
+}
+
+fn step_while_enter(
+    exec: &mut Exec<'_>,
+    _f: &MirFunction,
+    _env: &mut Env,
+    frames: &mut Vec<Frame>,
+    _step: &NStep,
+    pc: u32,
+) -> Result<u32, SimError> {
+    exec.burn(Span::dummy())?;
+    frames.push(Frame::While);
+    Ok(pc + 1)
+}
+
+fn step_while_iter(
+    exec: &mut Exec<'_>,
+    _f: &MirFunction,
+    _env: &mut Env,
+    _frames: &mut Vec<Frame>,
+    _step: &NStep,
+    pc: u32,
+) -> Result<u32, SimError> {
+    exec.burn(Span::dummy())?;
+    Ok(pc + 1)
+}
+
+fn step_break(
+    exec: &mut Exec<'_>,
+    _f: &MirFunction,
+    _env: &mut Env,
+    frames: &mut Vec<Frame>,
+    step: &NStep,
+    _pc: u32,
+) -> Result<u32, SimError> {
+    let NData::Loop { target } = &step.data else {
+        unreachable!()
+    };
+    exec.burn(Span::dummy())?;
+    frames.pop();
+    Ok(*target)
+}
+
+fn step_continue(
+    exec: &mut Exec<'_>,
+    _f: &MirFunction,
+    _env: &mut Env,
+    _frames: &mut Vec<Frame>,
+    step: &NStep,
+    _pc: u32,
+) -> Result<u32, SimError> {
+    let NData::Loop { target } = &step.data else {
+        unreachable!()
+    };
+    exec.burn(Span::dummy())?;
+    Ok(*target)
+}
+
+fn step_return(
+    exec: &mut Exec<'_>,
+    _f: &MirFunction,
+    _env: &mut Env,
+    _frames: &mut Vec<Frame>,
+    _step: &NStep,
+    _pc: u32,
+) -> Result<u32, SimError> {
+    exec.burn(Span::dummy())?;
+    Ok(u32::MAX)
+}
+
+fn step_call_multi(
+    exec: &mut Exec<'_>,
+    f: &MirFunction,
+    env: &mut Env,
+    _frames: &mut Vec<Frame>,
+    step: &NStep,
+    pc: u32,
+) -> Result<u32, SimError> {
+    let NData::CallMulti {
+        dsts,
+        func,
+        args,
+        user,
+        span,
+    } = &step.data
+    else {
+        unreachable!()
+    };
+    exec.burn(Span::dummy())?;
+    if exec.profile.is_some() {
+        exec.cur_span = *span;
+    }
+    exec.exec_call_multi(f, env, dsts, func, args, *user, *span)?;
+    Ok(pc + 1)
+}
+
+fn step_effect(
+    exec: &mut Exec<'_>,
+    f: &MirFunction,
+    env: &mut Env,
+    _frames: &mut Vec<Frame>,
+    step: &NStep,
+    pc: u32,
+) -> Result<u32, SimError> {
+    let NData::Effect { name, args, span } = &step.data else {
+        unreachable!()
+    };
+    exec.burn(Span::dummy())?;
+    if exec.profile.is_some() {
+        exec.cur_span = *span;
+    }
+    exec.exec_effect(f, env, name, args, *span)?;
+    Ok(pc + 1)
+}
+
+// ---- vector fast path -----------------------------------------------------
+
+fn step_vector(
+    exec: &mut Exec<'_>,
+    f: &MirFunction,
+    env: &mut Env,
+    _frames: &mut Vec<Frame>,
+    step: &NStep,
+    pc: u32,
+) -> Result<u32, SimError> {
+    let NData::Vector(vop) = &step.data else {
+        unreachable!()
+    };
+    exec.burn(Span::dummy())?;
+    if exec.profile.is_some() {
+        exec.cur_span = vop.span;
+    }
+    // Same prologue as `Exec::exec_vector_op`: length, then charges, then
+    // lane semantics.
+    let span = vop.span;
+    let len_f = exec.real_of(f, env, vop.len, span)?;
+    let len = if len_f > 0.0 { len_f as usize } else { 0 };
+    let inputs = 1 + u64::from(vop.b.is_some());
+    let is_store = !matches!(vop.kind, VecKind::Mac | VecKind::Reduce(_));
+    exec.charge_vector_op(vop, len as u64, inputs, is_store);
+    if len == 0 {
+        return Ok(pc + 1);
+    }
+    if !vector_fast(exec, f, env, vop, len) {
+        exec.vector_op_lanes(f, env, vop, len)?;
+    }
+    Ok(pc + 1)
+}
+
+/// A resolved lane reference whose bounds are already validated: either a
+/// splat scalar or a strided in-bounds window over an array register.
+#[derive(Clone, Copy)]
+enum Lanes {
+    Splat(Cx),
+    Slice { var: VarId, s: i64, st: i64 },
+}
+
+/// Resolves a `VecRef` for the allocation-free path: slice base must be an
+/// array register with scalar start/step and every lane position in
+/// bounds. `None` means "fall back to the generic path" (which re-derives
+/// the identical error or semantics).
+#[inline]
+fn resolve_lanes(env: &Env, r: &VecRef, len: usize) -> Option<Lanes> {
+    match r {
+        VecRef::Splat(op) => slot_scalar(env, *op).ok().flatten().map(Lanes::Splat),
+        VecRef::Slice { array, start, step } => {
+            let s = slot_scalar(env, *start).ok().flatten()?.re as i64 - 1;
+            let st = slot_scalar(env, *step).ok().flatten()?.re as i64;
+            let Some(SimVal::Arr(m)) = &env[array.0 as usize] else {
+                return None;
+            };
+            let last = s + st * (len as i64 - 1);
+            let (lo, hi) = if st >= 0 { (s, last) } else { (last, s) };
+            if lo < 0 || hi >= m.numel() as i64 {
+                return None;
+            }
+            Some(Lanes::Slice {
+                var: *array,
+                s,
+                st,
+            })
+        }
+    }
+}
+
+/// Executes a vector op's lane semantics without the generic path's
+/// per-lane bounds `Result`s and temporary lane `Vec`s. Returns `false`
+/// (having touched nothing) when any precondition fails; once it commits,
+/// it cannot fail, and the values written are bit-identical to
+/// `Exec::vector_op_lanes` — same element order, same float accumulation
+/// sequence.
+fn vector_fast(
+    exec: &mut Exec<'_>,
+    _f: &MirFunction,
+    env: &mut Env,
+    vop: &VectorOp,
+    len: usize,
+) -> bool {
+    match &vop.kind {
+        VecKind::Mac | VecKind::Reduce(_) => {
+            let VecRef::Splat(Operand::Var(acc_var)) = vop.dst else {
+                return false;
+            };
+            let acc0 = match &env[acc_var.0 as usize] {
+                Some(SimVal::Scalar(z)) => *z,
+                _ => return false,
+            };
+            let Some(la) = resolve_lanes(env, &vop.a, len) else {
+                return false;
+            };
+            let lb = match &vop.b {
+                Some(r) => match resolve_lanes(env, r, len) {
+                    Some(l) => Some(l),
+                    None => return false,
+                },
+                None => None,
+            };
+            let data_of = |l: &Lanes| -> &[Cx] {
+                match l {
+                    Lanes::Splat(_) => &[],
+                    Lanes::Slice { var, .. } => match &env[var.0 as usize] {
+                        Some(SimVal::Arr(m)) => m.data(),
+                        _ => unreachable!(),
+                    },
+                }
+            };
+            let da = data_of(&la);
+            let db = lb.as_ref().map(data_of).unwrap_or(&[]);
+            let at = |l: Lanes, d: &[Cx], k: usize| -> Cx {
+                match l {
+                    Lanes::Splat(z) => z,
+                    Lanes::Slice { s, st, .. } => d[(s + st * k as i64) as usize],
+                }
+            };
+            let mut acc = acc0;
+            match &vop.kind {
+                VecKind::Mac => {
+                    let lb = lb.expect("MAC has two inputs");
+                    for k in 0..len {
+                        acc = acc + at(la, da, k) * at(lb, db, k);
+                    }
+                }
+                VecKind::Reduce(ReduceKind::Sum) => {
+                    for k in 0..len {
+                        acc = acc + at(la, da, k);
+                    }
+                }
+                VecKind::Reduce(ReduceKind::Prod) => {
+                    for k in 0..len {
+                        acc = acc * at(la, da, k);
+                    }
+                }
+                VecKind::Reduce(ReduceKind::Min) => {
+                    for k in 0..len {
+                        let z = at(la, da, k);
+                        if z.re < acc.re {
+                            acc = z;
+                        }
+                    }
+                }
+                VecKind::Reduce(ReduceKind::Max) => {
+                    for k in 0..len {
+                        let z = at(la, da, k);
+                        if z.re > acc.re {
+                            acc = z;
+                        }
+                    }
+                }
+                _ => unreachable!(),
+            }
+            exec.set(env, acc_var, SimVal::Scalar(acc));
+            true
+        }
+        kind => {
+            // Element-wise map writing a destination slice.
+            let VecRef::Slice { array: dvar, .. } = &vop.dst else {
+                return false;
+            };
+            // Lane computation must be infallible once committed.
+            enum MapOp {
+                Bin(BinOp),
+                Un(UnOp),
+                Builtin(fn(Cx) -> Cx),
+                Copy,
+            }
+            let mop = match kind {
+                VecKind::Map(BinOp::AndAnd | BinOp::OrOr) => return false,
+                VecKind::Map(op) => MapOp::Bin(*op),
+                VecKind::MapUnary(op) => MapOp::Un(*op),
+                VecKind::MapBuiltin(name) => MapOp::Builtin(match name.as_str() {
+                    "abs" => |z: Cx| Cx::real(z.abs()),
+                    "conj" => |z: Cx| z.conj(),
+                    "sqrt" => |z: Cx| z.sqrt(),
+                    "real" => |z: Cx| Cx::real(z.re),
+                    "imag" => |z: Cx| Cx::real(z.im),
+                    "floor" => |z: Cx| Cx::real(z.re.floor()),
+                    "ceil" => |z: Cx| Cx::real(z.re.ceil()),
+                    "round" => |z: Cx| Cx::real(z.re.round()),
+                    _ => return false,
+                }),
+                VecKind::Copy => MapOp::Copy,
+                VecKind::Mac | VecKind::Reduce(_) => unreachable!(),
+            };
+            // The generic path snapshots input lanes before writing, so an
+            // in-place destination aliasing an input is only safe if we
+            // fall back.
+            let aliases = |r: &VecRef| matches!(r, VecRef::Slice { array, .. } if array == dvar);
+            if aliases(&vop.a) || vop.b.as_ref().is_some_and(aliases) {
+                return false;
+            }
+            let Some(la) = resolve_lanes(env, &vop.a, len) else {
+                return false;
+            };
+            let lb = match &vop.b {
+                Some(r) => match resolve_lanes(env, r, len) {
+                    Some(l) => Some(l),
+                    None => return false,
+                },
+                None => None,
+            };
+            if matches!(kind, VecKind::Map(_)) && lb.is_none() {
+                return false; // binary map always has two inputs
+            }
+            let Some(ld) = resolve_lanes(env, &vop.dst, len) else {
+                return false;
+            };
+            let Lanes::Slice { s: ds, st: dst_st, .. } = ld else {
+                unreachable!("dst resolved from a Slice")
+            };
+            // Take the destination out (same copy-on-write discipline as
+            // `write_lanes`), then read inputs straight from the env.
+            let Some(SimVal::Arr(mut base)) = env[dvar.0 as usize].take() else {
+                unreachable!("dst resolved as Arr")
+            };
+            {
+                let data_of = |l: &Lanes| -> &[Cx] {
+                    match l {
+                        Lanes::Splat(_) => &[],
+                        Lanes::Slice { var, .. } => match &env[var.0 as usize] {
+                            Some(SimVal::Arr(m)) => m.data(),
+                            _ => unreachable!(),
+                        },
+                    }
+                };
+                let da = data_of(&la);
+                let db = lb.as_ref().map(data_of).unwrap_or(&[]);
+                let at = |l: Lanes, d: &[Cx], k: usize| -> Cx {
+                    match l {
+                        Lanes::Splat(z) => z,
+                        Lanes::Slice { s, st, .. } => d[(s + st * k as i64) as usize],
+                    }
+                };
+                let out = base.data_mut();
+                for k in 0..len {
+                    let av = at(la, da, k);
+                    let z = match &mop {
+                        MapOp::Bin(op) => {
+                            let bv = at(lb.unwrap(), db, k);
+                            apply_binop_scalar(*op, av, bv)
+                                .expect("short-circuit ops excluded from fast path")
+                        }
+                        MapOp::Un(op) => apply_unop(*op, av),
+                        MapOp::Builtin(bf) => bf(av),
+                        MapOp::Copy => av,
+                    };
+                    out[(ds + dst_st * k as i64) as usize] = z;
+                }
+            }
+            env[dvar.0 as usize] = Some(SimVal::Arr(base));
+            true
+        }
+    }
+}
+
+// ---- slice micro-ops -------------------------------------------------------
+//
+// Direct gather/scatter for slice-like subscripts, replacing the generic
+// `slice_positions` path (which materializes per-axis index lists and a
+// flat position vector) with closed-form axis iterators — no allocation
+// beyond the result payload. Charges and error order are exactly those of
+// `eval_index_slices`/`store_slices`: axis operands are read (and
+// negativity rejected) before any charge, charges land before bounds
+// errors, and gather order is column-outer/row-inner.
+
+/// A resolved subscript axis: 0-based positions `elem(0..len)`.
+#[derive(Clone, Copy)]
+enum RAxis {
+    /// One scalar position.
+    One(i64),
+    /// `0, 1, .., n-1` (a `:` over an axis of length `n`).
+    Iota(usize),
+    /// The `start:step:stop` list; elements reproduce `slice_positions`'s
+    /// float evaluation exactly.
+    Rng { s: f64, st: f64, len: usize },
+}
+
+impl RAxis {
+    fn len(self) -> usize {
+        match self {
+            RAxis::One(_) => 1,
+            RAxis::Iota(n) => n,
+            RAxis::Rng { len, .. } => len,
+        }
+    }
+
+    #[inline(always)]
+    fn elem(self, k: usize) -> i64 {
+        match self {
+            RAxis::One(v) => v,
+            RAxis::Iota(_) => k as i64,
+            RAxis::Rng { s, st, .. } => (s + st * k as f64) as i64 - 1,
+        }
+    }
+
+    /// `(smallest, largest)` element; only meaningful when `len() > 0`.
+    /// Range lists are monotone in `k` (truncation preserves order), so
+    /// the extremes sit at the ends.
+    fn bounds(self) -> (i64, i64) {
+        match self {
+            RAxis::One(v) => (v, v),
+            RAxis::Iota(n) => (0, n as i64 - 1),
+            RAxis::Rng { len, .. } => {
+                let (a, b) = (self.elem(0), self.elem(len - 1));
+                (a.min(b), a.max(b))
+            }
+        }
+    }
+}
+
+impl<'a> Exec<'a> {
+    /// Evaluates one axis of a slice subscript, reading operands in the
+    /// same order (and with the same errors) as `slice_positions`.
+    fn resolve_axis(
+        &mut self,
+        f: &MirFunction,
+        env: &Env,
+        sel: &AxisSel,
+        full_len: usize,
+        span: Span,
+    ) -> Result<RAxis, SimError> {
+        match sel {
+            AxisSel::Pos(op) => Ok(RAxis::One(self.index0(f, env, *op, span)?)),
+            AxisSel::Full => Ok(RAxis::Iota(full_len)),
+            AxisSel::Range { start, step, stop } => {
+                let s = self.real_of(f, env, *start, span)?;
+                let st = self.real_of(f, env, *step, span)?;
+                let e = self.real_of(f, env, *stop, span)?;
+                if st == 0.0 {
+                    return Ok(RAxis::Rng { s, st, len: 0 });
+                }
+                let len = (((e - s) / st + 1e-10).floor() as i64 + 1).max(0) as usize;
+                Ok(RAxis::Rng { s, st, len })
+            }
+        }
+    }
+}
+
+#[cold]
+fn slice_oob(p: usize, span: Span) -> SimError {
+    SimError::new(format!("slice index {} out of bounds", p + 1), span)
+}
+
+#[cold]
+fn store_slice_oob(p: usize, total: usize, span: Span) -> SimError {
+    SimError::new(
+        format!("store slice {} out of bounds ({total})", p + 1),
+        span,
+    )
+}
+
+/// `dst = arr(sel)` for one slice-like subscript (`Range` or `Full`).
+fn micro_slice_load_lin(
+    exec: &mut Exec<'_>,
+    f: &MirFunction,
+    env: &mut Env,
+    data: &MicroData,
+) -> Result<(), SimError> {
+    let MicroData::SliceLoadLin {
+        arr,
+        sel,
+        dst,
+        scalar_dst,
+        span,
+    } = data
+    else {
+        unreachable!()
+    };
+    exec.burn(Span::dummy())?;
+    if exec.profile.is_some() {
+        exec.cur_span = *span;
+    }
+    // Base first, like `eval_index`.
+    let base = match &env[arr.0 as usize] {
+        Some(SimVal::Arr(m)) => m.clone(),
+        Some(SimVal::Scalar(z)) => Matrix::scalar(*z),
+        None => return Err(unset_err(f, *arr, *span)),
+    };
+    let ax = exec.resolve_axis(f, env, sel, base.numel(), *span)?;
+    let n = ax.len();
+    let mut out = Vec::with_capacity(n);
+    if n > 0 {
+        let (lo, hi) = ax.bounds();
+        if lo < 0 {
+            return Err(SimError::new("index must be positive", *span));
+        }
+        exec.charge(OpClass::Load, n as u64);
+        exec.charge(OpClass::Store, n as u64);
+        exec.charge(OpClass::Branch, n as u64);
+        let bd = base.data();
+        if (hi as usize) < bd.len() {
+            for k in 0..n {
+                out.push(bd[ax.elem(k) as usize]);
+            }
+        } else {
+            // Exact first-out-of-bounds position, like the generic path.
+            for k in 0..n {
+                let p = ax.elem(k) as usize;
+                if p >= bd.len() {
+                    return Err(slice_oob(p, *span));
+                }
+                out.push(bd[p]);
+            }
+        }
+    } else {
+        exec.charge(OpClass::Load, 0);
+        exec.charge(OpClass::Store, 0);
+        exec.charge(OpClass::Branch, 0);
+    }
+    // `x(a:b)` yields a row, `x(:)` a column (as `slice_positions` shapes).
+    let m = match sel {
+        AxisSel::Full => Matrix::new(n, 1, out),
+        _ => Matrix::new(1, n, out),
+    };
+    def_finish(env, *dst, *scalar_dst, SimVal::Arr(m));
+    Ok(())
+}
+
+/// `dst = arr(rsel, csel)` with at least one slice-like axis.
+fn micro_slice_load_2d(
+    exec: &mut Exec<'_>,
+    f: &MirFunction,
+    env: &mut Env,
+    data: &MicroData,
+) -> Result<(), SimError> {
+    let MicroData::SliceLoad2 {
+        arr,
+        rsel,
+        csel,
+        dst,
+        scalar_dst,
+        span,
+    } = data
+    else {
+        unreachable!()
+    };
+    exec.burn(Span::dummy())?;
+    if exec.profile.is_some() {
+        exec.cur_span = *span;
+    }
+    let base = match &env[arr.0 as usize] {
+        Some(SimVal::Arr(m)) => m.clone(),
+        Some(SimVal::Scalar(z)) => Matrix::scalar(*z),
+        None => return Err(unset_err(f, *arr, *span)),
+    };
+    let ra = exec.resolve_axis(f, env, rsel, base.rows(), *span)?;
+    let ca = exec.resolve_axis(f, env, csel, base.cols(), *span)?;
+    let (rn, cn) = (ra.len(), ca.len());
+    let n = rn * cn;
+    let mut out = Vec::with_capacity(n);
+    if rn > 0 && cn > 0 {
+        let (rlo, rhi) = ra.bounds();
+        let (clo, chi) = ca.bounds();
+        if rlo < 0 || clo < 0 {
+            return Err(SimError::new("index must be positive", *span));
+        }
+        exec.charge(OpClass::Load, n as u64);
+        exec.charge(OpClass::Store, n as u64);
+        exec.charge(OpClass::Branch, n as u64);
+        let rows = base.rows();
+        let bd = base.data();
+        if (chi as usize) * rows + (rhi as usize) < bd.len() {
+            for jc in 0..cn {
+                let coff = ca.elem(jc) as usize * rows;
+                for ir in 0..rn {
+                    out.push(bd[coff + ra.elem(ir) as usize]);
+                }
+            }
+        } else {
+            for jc in 0..cn {
+                let coff = ca.elem(jc) as usize * rows;
+                for ir in 0..rn {
+                    let p = coff + ra.elem(ir) as usize;
+                    if p >= bd.len() {
+                        return Err(slice_oob(p, *span));
+                    }
+                    out.push(bd[p]);
+                }
+            }
+        }
+    } else {
+        exec.charge(OpClass::Load, 0);
+        exec.charge(OpClass::Store, 0);
+        exec.charge(OpClass::Branch, 0);
+    }
+    def_finish(env, *dst, *scalar_dst, SimVal::Arr(Matrix::new(rn, cn, out)));
+    Ok(())
+}
+
+/// `arr(sel) = value` for one slice-like subscript.
+fn micro_slice_store_lin(
+    exec: &mut Exec<'_>,
+    f: &MirFunction,
+    env: &mut Env,
+    data: &MicroData,
+) -> Result<(), SimError> {
+    let MicroData::SliceStoreLin {
+        arr,
+        sel,
+        value,
+        span,
+    } = data
+    else {
+        unreachable!()
+    };
+    exec.burn(Span::dummy())?;
+    if exec.profile.is_some() {
+        exec.cur_span = *span;
+    }
+    // Value first, then the base is *taken* for in-place mutation — the
+    // same sequence (and therefore error order) as `exec_store`.
+    let val = exec.operand(f, env, *value, *span)?;
+    let mut base = match env[arr.0 as usize].take() {
+        Some(SimVal::Arr(m)) => m,
+        Some(SimVal::Scalar(z)) => Matrix::scalar(z),
+        None => return Err(unset_err(f, *arr, *span)),
+    };
+    let ax = exec.resolve_axis(f, env, sel, base.numel(), *span)?;
+    let n = ax.len();
+    if n > 0 {
+        let (lo, hi) = ax.bounds();
+        if lo < 0 {
+            return Err(SimError::new("index must be positive", *span));
+        }
+        exec.charge(OpClass::Store, n as u64);
+        exec.charge(OpClass::Branch, n as u64);
+        let total = base.numel();
+        match &val {
+            SimVal::Scalar(z) => {
+                let bd = base.data_mut();
+                if (hi as usize) < bd.len() {
+                    for k in 0..n {
+                        bd[ax.elem(k) as usize] = *z;
+                    }
+                } else {
+                    for k in 0..n {
+                        let p = ax.elem(k) as usize;
+                        match bd.get_mut(p) {
+                            Some(slot) => *slot = *z,
+                            None => return Err(store_slice_oob(p, total, *span)),
+                        }
+                    }
+                }
+            }
+            SimVal::Arr(src) => {
+                exec.charge(OpClass::Load, n as u64);
+                if src.numel() != n {
+                    return Err(SimError::new("store size mismatch", *span));
+                }
+                let src = src.clone();
+                let bd = base.data_mut();
+                if (hi as usize) < bd.len() {
+                    for k in 0..n {
+                        bd[ax.elem(k) as usize] = src.lin(k);
+                    }
+                } else {
+                    for k in 0..n {
+                        let p = ax.elem(k) as usize;
+                        match bd.get_mut(p) {
+                            Some(slot) => *slot = src.lin(k),
+                            None => return Err(store_slice_oob(p, total, *span)),
+                        }
+                    }
+                }
+            }
+        }
+    } else {
+        exec.charge(OpClass::Store, 0);
+        exec.charge(OpClass::Branch, 0);
+        if let SimVal::Arr(src) = &val {
+            exec.charge(OpClass::Load, 0);
+            if src.numel() != 0 {
+                return Err(SimError::new("store size mismatch", *span));
+            }
+        }
+    }
+    env[arr.0 as usize] = Some(SimVal::Arr(base));
+    Ok(())
+}
+
+/// `arr(rsel, csel) = value` with at least one slice-like axis.
+fn micro_slice_store_2d(
+    exec: &mut Exec<'_>,
+    f: &MirFunction,
+    env: &mut Env,
+    data: &MicroData,
+) -> Result<(), SimError> {
+    let MicroData::SliceStore2 {
+        arr,
+        rsel,
+        csel,
+        value,
+        span,
+    } = data
+    else {
+        unreachable!()
+    };
+    exec.burn(Span::dummy())?;
+    if exec.profile.is_some() {
+        exec.cur_span = *span;
+    }
+    let val = exec.operand(f, env, *value, *span)?;
+    let mut base = match env[arr.0 as usize].take() {
+        Some(SimVal::Arr(m)) => m,
+        Some(SimVal::Scalar(z)) => Matrix::scalar(z),
+        None => return Err(unset_err(f, *arr, *span)),
+    };
+    let ra = exec.resolve_axis(f, env, rsel, base.rows(), *span)?;
+    let ca = exec.resolve_axis(f, env, csel, base.cols(), *span)?;
+    let (rn, cn) = (ra.len(), ca.len());
+    let n = rn * cn;
+    if rn > 0 && cn > 0 {
+        let (rlo, rhi) = ra.bounds();
+        let (clo, chi) = ca.bounds();
+        if rlo < 0 || clo < 0 {
+            return Err(SimError::new("index must be positive", *span));
+        }
+        exec.charge(OpClass::Store, n as u64);
+        exec.charge(OpClass::Branch, n as u64);
+        let total = base.numel();
+        let rows = base.rows();
+        match &val {
+            SimVal::Scalar(z) => {
+                let bd = base.data_mut();
+                if (chi as usize) * rows + (rhi as usize) < bd.len() {
+                    for jc in 0..cn {
+                        let coff = ca.elem(jc) as usize * rows;
+                        for ir in 0..rn {
+                            bd[coff + ra.elem(ir) as usize] = *z;
+                        }
+                    }
+                } else {
+                    for jc in 0..cn {
+                        let coff = ca.elem(jc) as usize * rows;
+                        for ir in 0..rn {
+                            let p = coff + ra.elem(ir) as usize;
+                            match bd.get_mut(p) {
+                                Some(slot) => *slot = *z,
+                                None => return Err(store_slice_oob(p, total, *span)),
+                            }
+                        }
+                    }
+                }
+            }
+            SimVal::Arr(src) => {
+                exec.charge(OpClass::Load, n as u64);
+                if src.numel() != n {
+                    return Err(SimError::new("store size mismatch", *span));
+                }
+                let src = src.clone();
+                let bd = base.data_mut();
+                if (chi as usize) * rows + (rhi as usize) < bd.len() {
+                    let mut k = 0usize;
+                    for jc in 0..cn {
+                        let coff = ca.elem(jc) as usize * rows;
+                        for ir in 0..rn {
+                            bd[coff + ra.elem(ir) as usize] = src.lin(k);
+                            k += 1;
+                        }
+                    }
+                } else {
+                    let mut k = 0usize;
+                    for jc in 0..cn {
+                        let coff = ca.elem(jc) as usize * rows;
+                        for ir in 0..rn {
+                            let p = coff + ra.elem(ir) as usize;
+                            match bd.get_mut(p) {
+                                Some(slot) => *slot = src.lin(k),
+                                None => return Err(store_slice_oob(p, total, *span)),
+                            }
+                            k += 1;
+                        }
+                    }
+                }
+            }
+        }
+    } else {
+        exec.charge(OpClass::Store, 0);
+        exec.charge(OpClass::Branch, 0);
+        if let SimVal::Arr(src) = &val {
+            exec.charge(OpClass::Load, 0);
+            if src.numel() != n {
+                return Err(SimError::new("store size mismatch", *span));
+            }
+        }
+    }
+    env[arr.0 as usize] = Some(SimVal::Arr(base));
+    Ok(())
+}

@@ -571,7 +571,20 @@ impl<'a> Exec<'a> {
         if len == 0 {
             return Ok(());
         }
+        self.vector_op_lanes(f, env, vop, len)
+    }
 
+    /// Lane semantics of one vector op, with charges already applied (the
+    /// native engine calls this directly when its allocation-free fast
+    /// path does not apply).
+    fn vector_op_lanes(
+        &mut self,
+        f: &MirFunction,
+        env: &mut Env,
+        vop: &VectorOp,
+        len: usize,
+    ) -> Result<(), SimError> {
+        let span = vop.span;
         let a = self.read_lanes(f, env, &vop.a, len, span)?;
         let b = match &vop.b {
             Some(r) => Some(self.read_lanes(f, env, r, len, span)?),

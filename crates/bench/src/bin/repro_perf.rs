@@ -2,20 +2,25 @@
 //! itself, not of the code it models.
 //!
 //! Times repeated [`matic::Compiled::simulator`] runs over the whole
-//! benchmark suite at both opt levels and writes the results to
+//! benchmark suite at both opt levels and all three execution engines
+//! (tree-walk, linear, native), writing the results to
 //! `BENCH_simulator.json` (median ns per run, plus simulated-cycles per
 //! host-second as the throughput figure). Simulated cycle counts are
-//! deterministic; only the host timings vary run to run. Regenerate with:
+//! deterministic and must agree across engines; only the host timings
+//! vary run to run. Regenerate with:
 //! `cargo run --release -p matic-bench --bin repro_perf`
 //!
 //! **Regression gate**: when a committed `BENCH_simulator.json` already
 //! exists, the run compares per-cell throughput against it and prints a
-//! delta table. A geomean throughput drop beyond 15% exits non-zero —
-//! wide enough to absorb host noise on the small cells, tight enough to
-//! catch a real simulator slowdown. The new numbers are written out
-//! regardless, so `git diff` shows exactly what changed.
+//! delta table. Every cell in the committed baseline must be present in
+//! the fresh run — a missing cell fails the gate loudly instead of
+//! silently shrinking the comparison. A geomean throughput drop beyond
+//! 15% exits non-zero — wide enough to absorb host noise on the small
+//! cells, tight enough to catch a real simulator slowdown. The new
+//! numbers are written out regardless, so `git diff` shows exactly what
+//! changed.
 
-use matic::{Compiler, OptLevel};
+use matic::{Compiler, Engine, OptLevel};
 use matic_bench::render_table;
 use matic_benchkit::{to_sim, SUITE};
 use matic_isa::json::{parse, Json};
@@ -38,10 +43,17 @@ fn small_n(id: &str) -> usize {
 struct Timing {
     bench: &'static str,
     opt: &'static str,
+    engine: Engine,
     n: usize,
     cycles: u64,
     median_ns: u64,
     cycles_per_sec: f64,
+}
+
+impl Timing {
+    fn cell(&self) -> String {
+        format!("{}_{}_{}", self.bench, self.opt, self.engine)
+    }
 }
 
 fn median_ns(samples: &mut [u64]) -> u64 {
@@ -49,37 +61,55 @@ fn median_ns(samples: &mut [u64]) -> u64 {
     samples[samples.len() / 2]
 }
 
-fn time_cell(bench: &matic_benchkit::Benchmark, opt: OptLevel, label: &'static str) -> Timing {
+/// Times one (bench, opt) cell on every engine. The engines must agree on
+/// the simulated cycle count bit-for-bit — a cheap standing differential
+/// check on every perf run.
+fn time_cell(bench: &matic_benchkit::Benchmark, opt: OptLevel, label: &'static str) -> Vec<Timing> {
     let n = small_n(bench.id);
     let compiled = Compiler::new()
         .opt_level(opt)
         .compile(bench.source, bench.entry, &bench.arg_types(n))
         .unwrap_or_else(|e| panic!("{}: compile failed: {e}", bench.id));
     let inputs: Vec<_> = bench.inputs(n, 3).iter().map(to_sim).collect();
-    let sim = compiled.simulator();
-    // Warm up (also forces the one-time decode) and pin the cycle count.
-    let cycles = sim.run(inputs.clone()).expect("sim ok").cycles.total;
-    let mut samples = Vec::with_capacity(40);
-    let budget = Instant::now();
-    while samples.len() < 40 && (samples.len() < 10 || budget.elapsed().as_millis() < 300) {
-        let t = Instant::now();
-        let out = sim.run(inputs.clone()).expect("sim ok");
-        samples.push(t.elapsed().as_nanos() as u64);
-        assert_eq!(out.cycles.total, cycles, "simulation must be deterministic");
+    let mut cycles_by_engine = Vec::new();
+    let mut timings = Vec::new();
+    for engine in Engine::ALL {
+        let sim = compiled.simulator().with_engine(engine);
+        // Warm up (also forces the one-time decode/fuse) and pin cycles.
+        let cycles = sim.run(inputs.clone()).expect("sim ok").cycles.total;
+        cycles_by_engine.push(cycles);
+        let mut samples = Vec::with_capacity(40);
+        let budget = Instant::now();
+        while samples.len() < 40 && (samples.len() < 10 || budget.elapsed().as_millis() < 300) {
+            let t = Instant::now();
+            let out = sim.run(inputs.clone()).expect("sim ok");
+            samples.push(t.elapsed().as_nanos() as u64);
+            assert_eq!(out.cycles.total, cycles, "simulation must be deterministic");
+        }
+        let med = median_ns(&mut samples);
+        timings.push(Timing {
+            bench: bench.id,
+            opt: label,
+            engine,
+            n,
+            cycles,
+            median_ns: med,
+            cycles_per_sec: cycles as f64 / (med.max(1) as f64 / 1e9),
+        });
     }
-    let med = median_ns(&mut samples);
-    Timing {
-        bench: bench.id,
-        opt: label,
-        n,
-        cycles,
-        median_ns: med,
-        cycles_per_sec: cycles as f64 / (med.max(1) as f64 / 1e9),
-    }
+    assert!(
+        cycles_by_engine.windows(2).all(|w| w[0] == w[1]),
+        "{}_{label}: engines disagree on cycle count: {cycles_by_engine:?}",
+        bench.id
+    );
+    timings
 }
 
 /// Reads the committed baseline's per-cell throughput, keyed by
-/// `bench_opt`. `None` when no baseline exists (first run on a machine).
+/// `bench_opt_engine`. Baselines written before the engine column existed
+/// measured the then-default linear engine, so a missing `engine` field
+/// maps to `linear`. `None` when no baseline exists (first run on a
+/// machine).
 fn read_baseline(path: &str) -> Option<Vec<(String, f64)>> {
     let text = std::fs::read_to_string(path).ok()?;
     let doc = parse(&text).ok()?;
@@ -91,21 +121,41 @@ fn read_baseline(path: &str) -> Option<Vec<(String, f64)>> {
         .filter_map(|r| {
             let bench = r.get("bench")?.as_str()?;
             let opt = r.get("opt")?.as_str()?;
+            let engine = r
+                .get("engine")
+                .and_then(|e| e.as_str())
+                .unwrap_or("linear")
+                .to_string();
             let tput = r.get("sim_cycles_per_sec")?.as_f64()?;
-            (tput > 0.0).then(|| (format!("{bench}_{opt}"), tput))
+            (tput > 0.0).then(|| (format!("{bench}_{opt}_{engine}"), tput))
         })
         .collect();
     (!cells.is_empty()).then_some(cells)
 }
 
 /// Compares new throughput against the committed baseline; prints the
-/// delta table and returns `Err` on a geomean regression beyond the gate.
+/// delta table and returns `Err` on a geomean regression beyond the gate
+/// or when a baseline cell is missing from the fresh run.
 fn gate_against_baseline(timings: &[Timing], baseline: &[(String, f64)]) -> Result<(), String> {
+    // Every committed cell must have a fresh counterpart: a silently
+    // dropped cell would shrink the comparison and could hide a
+    // regression (or a broken benchmark).
+    let missing: Vec<&str> = baseline
+        .iter()
+        .map(|(k, _)| k.as_str())
+        .filter(|k| !timings.iter().any(|t| t.cell() == *k))
+        .collect();
+    if !missing.is_empty() {
+        return Err(format!(
+            "baseline cells missing from this run: {}",
+            missing.join(", ")
+        ));
+    }
     let mut rows = Vec::new();
     let mut log_ratio_sum = 0.0f64;
     let mut compared = 0usize;
     for t in timings {
-        let cell = format!("{}_{}", t.bench, t.opt);
+        let cell = t.cell();
         let Some((_, old)) = baseline.iter().find(|(k, _)| *k == cell) else {
             rows.push(vec![
                 cell,
@@ -151,17 +201,60 @@ fn gate_against_baseline(timings: &[Timing], baseline: &[(String, f64)]) -> Resu
     Ok(())
 }
 
+/// Prints the native engine's speedup per cell against whatever engine the
+/// committed baseline measured (legacy baselines: linear). This is the
+/// headline number for the fused direct-threaded engine.
+fn print_native_speedup(timings: &[Timing], baseline: &[(String, f64)]) {
+    let mut rows = Vec::new();
+    let mut log_sum = 0.0f64;
+    let mut count = 0usize;
+    for t in timings.iter().filter(|t| t.engine == Engine::Native) {
+        let committed = baseline
+            .iter()
+            .find(|(k, _)| *k == format!("{}_{}_linear", t.bench, t.opt))
+            .or_else(|| {
+                baseline
+                    .iter()
+                    .find(|(k, _)| *k == format!("{}_{}_native", t.bench, t.opt))
+            });
+        let Some((_, old)) = committed else { continue };
+        let ratio = t.cycles_per_sec / old;
+        log_sum += ratio.ln();
+        count += 1;
+        rows.push(vec![
+            format!("{}_{}", t.bench, t.opt),
+            format!("{:.1}", old / 1e6),
+            format!("{:.1}", t.cycles_per_sec / 1e6),
+            format!("{ratio:.2}x"),
+        ]);
+    }
+    if count == 0 {
+        return;
+    }
+    println!();
+    println!("native engine vs committed baseline (Mcyc/s):");
+    println!();
+    println!(
+        "{}",
+        render_table(&["cell", "committed", "native", "speedup"], &rows)
+    );
+    println!(
+        "native speedup geomean: {:.2}x over {count} cells",
+        (log_sum / count as f64).exp()
+    );
+}
+
 fn main() -> ExitCode {
     let mut timings = Vec::new();
     for b in SUITE {
-        timings.push(time_cell(b, OptLevel::baseline(), "base"));
-        timings.push(time_cell(b, OptLevel::full(), "opt"));
+        timings.extend(time_cell(b, OptLevel::baseline(), "base"));
+        timings.extend(time_cell(b, OptLevel::full(), "opt"));
     }
     let rows: Vec<Vec<String>> = timings
         .iter()
         .map(|t| {
             vec![
-                format!("{}_{}", t.bench, t.opt),
+                t.cell(),
                 t.n.to_string(),
                 t.cycles.to_string(),
                 t.median_ns.to_string(),
@@ -169,7 +262,7 @@ fn main() -> ExitCode {
             ]
         })
         .collect();
-    println!("Simulator throughput (pre-decoded engine, reusable-machine API)");
+    println!("Simulator throughput (reusable-machine API, per engine)");
     println!();
     println!(
         "{}",
@@ -184,6 +277,7 @@ fn main() -> ExitCode {
             Json::Obj(vec![
                 ("bench".into(), Json::Str(t.bench.into())),
                 ("opt".into(), Json::Str(t.opt.into())),
+                ("engine".into(), Json::Str(t.engine.to_string())),
                 ("n".into(), Json::Num(t.n as f64)),
                 ("cycles".into(), Json::Num(t.cycles as f64)),
                 ("median_ns".into(), Json::Num(t.median_ns as f64)),
@@ -205,7 +299,9 @@ fn main() -> ExitCode {
     println!("wrote {path}");
     if let Some(baseline) = baseline {
         println!();
-        if let Err(e) = gate_against_baseline(&timings, &baseline) {
+        let gate = gate_against_baseline(&timings, &baseline);
+        print_native_speedup(&timings, &baseline);
+        if let Err(e) = gate {
             eprintln!("repro_perf: {e}");
             return ExitCode::FAILURE;
         }

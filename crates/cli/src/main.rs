@@ -5,17 +5,18 @@
 //!       [--baseline] [-o <dir>]        compile to C (+ runtime headers)
 //! matic mir     <file.m> --entry <fn> --sig <spec>   dump optimized MIR
 //! matic cycles  <file.m> --entry <fn> --sig <spec>   baseline-vs-optimized
-//!       [--n <size>] [--profile] [--profile-json <p>] cycle comparison
+//!       [--n <size>] [--engine <e>] [--profile]        cycle comparison
+//!       [--profile-json <p>]
 //! matic targets [--dump <name>]                       list/export targets
 //! matic explore [--benchmarks <ids>] [--widths <list>] [--scales <list>]
-//!       [--area-model <json>] [--json <out>]           design-space search
+//!       [--engine <e>] [--area-model <json>] [--json <out>]  design-space search
 //! ```
 //!
 //! `--sig` describes the entry signature, comma-separated:
 //! `s` scalar, `cs` complex scalar, `v<N>` real vector, `cv<N>` complex
 //! vector, `m<R>x<C>` matrix — e.g. `--sig v1024,v64` for `fir(x, h)`.
 
-use matic::{arg, CValue, Compiler, IsaSpec, OptLevel, SimVal, Ty};
+use matic::{arg, CValue, Compiler, Engine, IsaSpec, OptLevel, SimVal, Ty};
 use std::path::Path;
 use std::process::ExitCode;
 
@@ -52,10 +53,11 @@ const USAGE: &str = "usage:
   matic compile <file.m> --entry <fn> --sig <spec> [--target <json>] [--baseline] [-o <dir>]
   matic mir     <file.m> --entry <fn> --sig <spec> [--target <json>]
   matic cycles  <file.m> --entry <fn> --sig <spec> [--target <json>] [--seed <k>] [--max-cycles <N>]
-                [--profile] [--profile-json <path>]
+                [--engine tree|linear|native] [--profile] [--profile-json <path>]
   matic targets [--dump <name>]
   matic explore [--benchmarks <ids>] [--widths <list>] [--scales <list>] [--n <size>]
-                [--seed <k>] [--max-cycles <N>] [--area-model <json>] [--json <out>] [--quick]
+                [--seed <k>] [--max-cycles <N>] [--engine tree|linear|native]
+                [--area-model <json>] [--json <out>] [--quick]
 sig spec: s | cs | v<N> | cv<N> | m<R>x<C>, comma-separated (e.g. v1024,v64)
 explore sweeps a grid of candidate ISAs (SIMD widths x feature subsets x
 cost scalings) over the benchmark suite and reports the cycles-vs-area
@@ -63,6 +65,9 @@ Pareto frontier; --quick shrinks the grid for smoke runs, --json writes a
 matic-explore-v1 document
 --max-cycles caps the simulated step budget (default 100000000); runaway
 programs stop with a fuel-exhaustion diagnostic instead of hanging
+--engine picks the simulator implementation (default native, the fused
+direct-threaded engine); cycle counts are identical on every engine, only
+wall-clock differs
 --profile prints a per-source-line cycle report for the optimized build;
 --profile-json writes the same data as a matic-profile-v1 JSON document
 --trace-passes (any command) prints per-pass wall-time and the
@@ -78,6 +83,7 @@ struct Opts {
     out_dir: String,
     seed: u64,
     max_cycles: u64,
+    engine: Engine,
     profile: bool,
     profile_json: Option<String>,
     trace_passes: bool,
@@ -96,6 +102,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut out_dir = "matic_out".to_string();
     let mut seed = 1u64;
     let mut max_cycles = DEFAULT_MAX_CYCLES;
+    let mut engine = Engine::default();
     let mut profile = false;
     let mut profile_json = None;
     let mut trace_passes = false;
@@ -129,6 +136,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                     return Err("--max-cycles expects a positive integer".to_string());
                 }
             }
+            "--engine" => engine = next(&mut it, "--engine")?.parse()?,
             other if !other.starts_with('-') && file.is_none() => file = Some(other.to_string()),
             other => return Err(format!("unexpected argument `{other}`")),
         }
@@ -142,6 +150,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         out_dir,
         seed,
         max_cycles,
+        engine,
         profile,
         profile_json,
         trace_passes,
@@ -312,11 +321,13 @@ fn cmd_cycles(args: &[String]) -> Result<(), String> {
     let want_profile = opts.profile || opts.profile_json.is_some();
     let rb = baseline
         .simulator()
+        .with_engine(opts.engine)
         .with_fuel(opts.max_cycles)
         .run(inputs.clone())
         .map_err(|e| e.to_string())?;
     let ro = optimized
         .simulator()
+        .with_engine(opts.engine)
         .with_fuel(opts.max_cycles)
         .with_profiling(want_profile)
         .run(inputs)
@@ -358,6 +369,7 @@ fn clone_opts(o: &Opts) -> Opts {
         out_dir: o.out_dir.clone(),
         seed: o.seed,
         max_cycles: o.max_cycles,
+        engine: o.engine,
         profile: o.profile,
         profile_json: o.profile_json.clone(),
         trace_passes: o.trace_passes,
@@ -478,6 +490,7 @@ fn cmd_explore(args: &[String]) -> Result<(), String> {
                 cfg.area = AreaModel::from_json(&text)?;
             }
             "--json" => json_out = Some(next(&mut it, "--json")?),
+            "--engine" => cfg.engine = next(&mut it, "--engine")?.parse()?,
             "--quick" => cfg.grid = GridConfig::quick(),
             other => return Err(format!("unexpected argument `{other}`")),
         }

@@ -182,6 +182,75 @@ fn explore_rejects_unknown_benchmarks_and_bad_grids() {
     assert!(stderr_line(&out).contains("width"), "{}", stderr_line(&out));
 }
 
+/// All three engines must print byte-identical cycle reports: the engine
+/// choice is a wall-clock knob, never a semantics knob.
+#[test]
+fn cycles_report_is_identical_on_every_engine() {
+    let file = source_file(
+        "engines",
+        "function y = f(x, h)\n\
+         n = numel(x);\n\
+         m = numel(h);\n\
+         y = zeros(1, n);\n\
+         for i = 1:n\n\
+           acc = 0;\n\
+           for k = 1:m\n\
+             if i - k + 1 >= 1\n\
+               acc = acc + h(k) * x(i - k + 1);\n\
+             end\n\
+           end\n\
+           y(i) = acc;\n\
+         end\n\
+         end\n",
+    );
+    let mut reports = Vec::new();
+    for engine in ["tree", "linear", "native"] {
+        let out = run(&[
+            "cycles",
+            file.to_str().unwrap(),
+            "--entry",
+            "f",
+            "--sig",
+            "v64,v8",
+            "--engine",
+            engine,
+        ]);
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "{engine}: {}",
+            stderr_line(&out)
+        );
+        let text = String::from_utf8_lossy(&out.stdout).into_owned();
+        assert!(text.contains("speedup"), "{engine}: {text}");
+        reports.push((engine, text));
+    }
+    let (_, reference) = &reports[0];
+    for (engine, text) in &reports[1..] {
+        assert_eq!(text, reference, "engine {engine} diverges from tree");
+    }
+}
+
+#[test]
+fn unknown_engine_is_rejected() {
+    let file = source_file("badengine", "function y = f(x)\ny = x;\nend\n");
+    let out = run(&[
+        "cycles",
+        file.to_str().unwrap(),
+        "--entry",
+        "f",
+        "--sig",
+        "s",
+        "--engine",
+        "warp",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    assert_eq!(
+        stderr_line(&out),
+        "matic: unknown engine `warp` (expected tree, linear, or native)"
+    );
+}
+
 #[test]
 fn well_formed_program_still_succeeds() {
     let file = source_file("ok", "function y = f(a, b)\ny = sum(a .* b);\nend\n");

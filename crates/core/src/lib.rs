@@ -39,8 +39,8 @@
 pub mod pipeline;
 
 pub use matic_asip::{
-    AsipMachine, CycleReport, Profile, SimError, SimErrorKind, SimOutcome, SimVal, SpanCounters,
-    PROFILE_SCHEMA,
+    AsipMachine, CycleReport, Engine, NativeProgram, Profile, SimError, SimErrorKind, SimOutcome,
+    SimVal, Simulator, SpanCounters, PROFILE_SCHEMA,
 };
 pub use matic_codegen::{CModule, CValue, CodegenOptions, Harness};
 pub use matic_frontend::{parse, Program, SourceMap, Span};

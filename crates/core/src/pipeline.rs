@@ -243,6 +243,7 @@ impl Compiler {
             opt: self.opt,
             timings,
             decoded: OnceLock::new(),
+            native: OnceLock::new(),
         })
     }
 }
@@ -275,6 +276,11 @@ pub struct Compiled {
     /// filled on the first [`Compiled::simulator`]/[`Compiled::simulate`]
     /// call and shared by all subsequent ones.
     decoded: OnceLock<Arc<matic_asip::DecodedProgram>>,
+    /// Lazily-fused superinstruction program for the native engine;
+    /// built at most once per `Compiled` and shared by every simulator
+    /// spawned from it (the fusion, like the decode, is
+    /// target-independent).
+    native: OnceLock<Arc<matic_asip::NativeProgram>>,
 }
 
 impl Compiled {
@@ -319,7 +325,13 @@ impl Compiled {
             self.decoded
                 .get_or_init(|| Arc::new(matic_asip::decode_program(&self.mir))),
         );
-        machine.load_decoded(&self.mir, decoded, &self.entry)
+        let native = Arc::clone(
+            self.native
+                .get_or_init(|| Arc::new(matic_asip::fuse_program(&self.mir, decoded.as_ref()))),
+        );
+        machine
+            .load_decoded(&self.mir, decoded, &self.entry)
+            .with_native(native)
     }
 
     /// The entry function's MIR.

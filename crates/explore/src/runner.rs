@@ -14,7 +14,7 @@ use crate::area::AreaModel;
 use crate::grid::{enumerate, Candidate, GridConfig};
 use crate::pareto::pareto_frontier;
 use crate::util::par_map;
-use matic::{Compiled, Compiler, Features, SourceMap};
+use matic::{Compiled, Compiler, Engine, Features, SourceMap};
 use matic_benchkit::{benchmark, outputs_close, sim_to_cvalue, to_sim, Benchmark, SUITE};
 use std::sync::Arc;
 
@@ -35,6 +35,11 @@ pub struct ExploreConfig {
     pub grid: GridConfig,
     /// The area model pricing each candidate.
     pub area: AreaModel,
+    /// Execution engine for every simulation in the sweep. Cycle counts
+    /// are engine-independent (pinned by the engine differential tests),
+    /// so this only affects wall-clock; the native engine is the default
+    /// because sweeps are simulation-bound.
+    pub engine: Engine,
 }
 
 impl Default for ExploreConfig {
@@ -46,6 +51,7 @@ impl Default for ExploreConfig {
             fuel: 100_000_000,
             grid: GridConfig::default(),
             area: AreaModel::default(),
+            engine: Engine::Native,
         }
     }
 }
@@ -231,6 +237,7 @@ fn explore_bench(
         let inputs: Vec<_> = bench.inputs(n, cfg.seed).iter().map(to_sim).collect();
         let outcome = compiled
             .simulator_for(Arc::new(cand.spec.clone()))
+            .with_engine(cfg.engine)
             .with_fuel(cfg.fuel)
             .run(inputs)
             .map_err(|e| format!("{}/{}: {e}", bench.id, cand.name()))?;
@@ -306,6 +313,7 @@ fn profile_best(
     let inputs: Vec<_> = bench.inputs(n, cfg.seed).iter().map(to_sim).collect();
     let outcome = compiled
         .simulator_for(Arc::new(cand.spec.clone()))
+        .with_engine(cfg.engine)
         .with_fuel(cfg.fuel)
         .with_profiling(true)
         .run(inputs)

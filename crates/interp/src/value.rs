@@ -3,6 +3,7 @@
 
 use crate::cx::Cx;
 use matic_frontend::ast::Expr;
+use std::cell::Cell;
 use std::fmt;
 use std::rc::Rc;
 
@@ -18,12 +19,37 @@ use std::rc::Rc;
 /// MATLAB value semantics are preserved — the sharing is unobservable —
 /// but the simulator's operand reads and value-copy assignments stop
 /// allocating.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Clone)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
     data: Rc<Vec<Cx>>,
     logical: bool,
+    /// Memoized "all elements real" answer; `None` until first queried,
+    /// reset on any mutable access. Purely a cache — never part of the
+    /// value (excluded from `PartialEq`).
+    real: Cell<Option<bool>>,
+}
+
+// The realness cache is not part of the value.
+impl PartialEq for Matrix {
+    fn eq(&self, other: &Matrix) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self.logical == other.logical
+            && self.data == other.data
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Matrix")
+            .field("rows", &self.rows)
+            .field("cols", &self.cols)
+            .field("data", &self.data)
+            .field("logical", &self.logical)
+            .finish()
+    }
 }
 
 impl Matrix {
@@ -39,6 +65,7 @@ impl Matrix {
             cols,
             data: Rc::new(data),
             logical: false,
+            real: Cell::new(None),
         }
     }
 
@@ -172,8 +199,16 @@ impl Matrix {
     }
 
     /// Whether all elements have zero imaginary part.
+    ///
+    /// The answer is memoized (cost-model code asks repeatedly for the
+    /// same matrix); any mutable access clears the memo.
     pub fn is_real(&self) -> bool {
-        self.data.iter().all(|z| z.is_real())
+        if let Some(r) = self.real.get() {
+            return r;
+        }
+        let r = self.data.iter().all(|z| z.is_real());
+        self.real.set(Some(r));
+        r
     }
 
     /// Column-major element slice.
@@ -184,11 +219,13 @@ impl Matrix {
     /// Mutable column-major element slice (shape is fixed; only element
     /// values may change). Detaches from any sharers first (copy-on-write).
     pub fn data_mut(&mut self) -> &mut [Cx] {
+        self.real.set(None);
         Rc::make_mut(&mut self.data).as_mut_slice()
     }
 
     /// The element vector by value, avoiding a copy when unshared.
     fn take_data(&mut self) -> Vec<Cx> {
+        self.real.set(None);
         let rc = std::mem::take(&mut self.data);
         Rc::try_unwrap(rc).unwrap_or_else(|rc| (*rc).clone())
     }
@@ -304,32 +341,47 @@ impl Matrix {
                 self.rows, self.cols, other.rows, other.cols
             ));
         }
-        let mut out = Matrix::zeros(self.rows, other.cols);
+        let (a, b) = (self.data.as_slice(), other.data.as_slice());
+        let mut out = vec![Cx::ZERO; self.rows * other.cols];
         for j in 0..other.cols {
+            let col = &mut out[j * self.rows..(j + 1) * self.rows];
             for k in 0..self.cols {
-                let b = other.at(k, j);
-                if b == Cx::ZERO {
+                let bkj = b[j * other.rows + k];
+                if bkj == Cx::ZERO {
                     continue;
                 }
-                for i in 0..self.rows {
-                    let v = out.at(i, j) + self.at(i, k) * b;
-                    *out.at_mut(i, j) = v;
+                let ak = &a[k * self.rows..(k + 1) * self.rows];
+                for (o, &aik) in col.iter_mut().zip(ak) {
+                    *o = *o + aik * bkj;
                 }
             }
         }
-        Ok(out)
+        Ok(Matrix::new(self.rows, other.cols, out))
     }
 
     /// Transpose; conjugates elements when `conjugate` is true (`'`).
     pub fn transpose(&self, conjugate: bool) -> Matrix {
-        let mut out = Matrix::zeros(self.cols, self.rows);
+        // A vector transposes by relabeling its dimensions: the
+        // column-major layout is unchanged, so the payload can be shared
+        // (unless elements must be conjugated). Result is never logical,
+        // matching the general path below.
+        if (self.rows <= 1 || self.cols <= 1) && (!conjugate || self.is_real()) {
+            return Matrix {
+                rows: self.cols,
+                cols: self.rows,
+                data: Rc::clone(&self.data),
+                logical: false,
+                real: self.real.clone(),
+            };
+        }
+        let mut out = vec![Cx::ZERO; self.data.len()];
         for c in 0..self.cols {
             for r in 0..self.rows {
-                let v = self.at(r, c);
-                *out.at_mut(c, r) = if conjugate { v.conj() } else { v };
+                let v = self.data[c * self.rows + r];
+                out[r * self.cols + c] = if conjugate { v.conj() } else { v };
             }
         }
-        out
+        Matrix::new(self.cols, self.rows, out)
     }
 
     /// Horizontal concatenation `[a, b]`.
@@ -569,6 +621,7 @@ impl Matrix {
             cols,
             data: Rc::clone(&self.data),
             logical: false,
+            real: self.real.clone(),
         })
     }
 

@@ -6,7 +6,7 @@
 //! (`run_interpreted`). The decode stage is a pure representation change;
 //! any divergence is a bug.
 
-use matic::{Compiler, IsaSpec, OptLevel};
+use matic::{Compiler, Engine, IsaSpec, OptLevel};
 use matic_asip::AsipMachine;
 use matic_benchkit::{to_sim, SUITE};
 use std::sync::Arc;
@@ -30,44 +30,50 @@ fn check_cell(spec_name: &str, spec: IsaSpec, label: &str, opt: OptLevel) {
             .unwrap_or_else(|e| panic!("{} [{spec_name}/{label}]: compile failed: {e}", b.id));
         let inputs: Vec<_> = b.inputs(n, 42).iter().map(to_sim).collect();
 
-        // Decoded engine, via the public reusable-simulator API.
-        let decoded = compiled
-            .simulator()
-            .run(inputs.clone())
-            .unwrap_or_else(|e| panic!("{} [{spec_name}/{label}]: decoded sim failed: {e}", b.id));
-
-        // Tree-walking engine on the same machine configuration.
+        // Tree-walking engine on the same machine configuration — the
+        // reference semantics.
         let mut machine = AsipMachine::from_shared(Arc::clone(&compiled.spec));
         if !opt.intrinsics {
             machine = machine.without_intrinsics();
         }
         let interpreted = machine
-            .run_interpreted(&compiled.mir, &compiled.entry, inputs)
+            .run_interpreted(&compiled.mir, &compiled.entry, inputs.clone())
             .unwrap_or_else(|e| {
                 panic!("{} [{spec_name}/{label}]: tree-walk sim failed: {e}", b.id)
             });
 
-        assert_eq!(
-            decoded.cycles.total, interpreted.cycles.total,
-            "{} [{spec_name}/{label}]: total cycles diverge",
-            b.id
-        );
-        assert_eq!(
-            decoded.cycles.instructions, interpreted.cycles.instructions,
-            "{} [{spec_name}/{label}]: instruction counts diverge",
-            b.id
-        );
-        assert_eq!(
-            decoded.cycles.by_class, interpreted.cycles.by_class,
-            "{} [{spec_name}/{label}]: per-class cycle breakdown diverges",
-            b.id
-        );
-        // Outputs and printed text must be bit-identical, not just close.
-        assert_eq!(
-            decoded, interpreted,
-            "{} [{spec_name}/{label}]: outcomes diverge",
-            b.id
-        );
+        // Every engine exposed through the public reusable-simulator API
+        // must reproduce it bit-for-bit.
+        for engine in Engine::ALL {
+            let outcome = compiled
+                .simulator()
+                .with_engine(engine)
+                .run(inputs.clone())
+                .unwrap_or_else(|e| {
+                    panic!("{} [{spec_name}/{label}/{engine}]: sim failed: {e}", b.id)
+                });
+            assert_eq!(
+                outcome.cycles.total, interpreted.cycles.total,
+                "{} [{spec_name}/{label}/{engine}]: total cycles diverge",
+                b.id
+            );
+            assert_eq!(
+                outcome.cycles.instructions, interpreted.cycles.instructions,
+                "{} [{spec_name}/{label}/{engine}]: instruction counts diverge",
+                b.id
+            );
+            assert_eq!(
+                outcome.cycles.by_class, interpreted.cycles.by_class,
+                "{} [{spec_name}/{label}/{engine}]: per-class cycle breakdown diverges",
+                b.id
+            );
+            // Outputs and printed text must be bit-identical, not close.
+            assert_eq!(
+                outcome, interpreted,
+                "{} [{spec_name}/{label}/{engine}]: outcomes diverge",
+                b.id
+            );
+        }
     }
 }
 
@@ -189,6 +195,134 @@ fn decoded_engine_matches_tree_walker_scalar_full() {
         "scalar",
         IsaSpec::scalar_baseline(),
         "full",
+        OptLevel::full(),
+    );
+}
+
+/// Sweeps every fuel value from 0 to one past the program's full budget
+/// and checks that all three engines agree exactly on the outcome at each
+/// value: same success/failure, same error kind, same message and span on
+/// failure, bit-identical outcome on success.
+///
+/// This pins the native engine's bulk fuel accounting: superinstructions
+/// and compiled chains subtract fuel for a whole block up front (after
+/// checking it is available) and otherwise fall back to per-op execution,
+/// so every fuel value that would exhaust *mid*-block must still report
+/// exhaustion at exactly the statement the linear engine would.
+fn check_fuel_sweep(source: &str, entry: &str, sig: &[matic::Ty], opt: OptLevel) {
+    let compiled = Compiler::new()
+        .opt_level(opt)
+        .compile(source, entry, sig)
+        .expect("compile");
+    let inputs: Vec<matic::SimVal> = sig
+        .iter()
+        .map(|t| {
+            let n = t.shape.numel().unwrap_or(1);
+            matic::SimVal::row(&(0..n).map(|k| (k % 7) as f64 - 3.0).collect::<Vec<_>>())
+        })
+        .collect();
+    // Find a fuel budget that lets the program finish (statement count is
+    // bounded by total cycles).
+    let full = compiled
+        .simulator()
+        .run(inputs.clone())
+        .expect("unlimited run succeeds");
+    let budget = full.cycles.total + 1;
+    let mut exhausted_at = 0u64;
+    let mut completed_at = None;
+    let mut fuel = 0u64;
+    while fuel <= budget {
+        let mut results = Vec::new();
+        for engine in Engine::ALL {
+            let r = compiled
+                .simulator()
+                .with_engine(engine)
+                .with_fuel(fuel)
+                .run(inputs.clone());
+            results.push((engine, r));
+        }
+        let (_, reference) = &results[0];
+        for (engine, r) in &results[1..] {
+            match (reference, r) {
+                (Ok(a), Ok(b)) => assert_eq!(a, b, "fuel {fuel}: {engine} outcome diverges"),
+                (Err(a), Err(b)) => {
+                    assert_eq!(a.kind, b.kind, "fuel {fuel}: {engine} error kind diverges");
+                    assert_eq!(
+                        a.to_string(),
+                        b.to_string(),
+                        "fuel {fuel}: {engine} error message diverges"
+                    );
+                }
+                _ => panic!(
+                    "fuel {fuel}: {engine} disagrees with tree on success: {:?} vs {:?}",
+                    reference.as_ref().map(|_| ()),
+                    r.as_ref().map(|_| ())
+                ),
+            }
+        }
+        match reference {
+            Err(e) => {
+                assert_eq!(
+                    e.kind,
+                    matic_asip::SimErrorKind::FuelExhausted,
+                    "fuel {fuel}: unexpected error {e}"
+                );
+                exhausted_at += 1;
+                fuel += 1;
+            }
+            Ok(_) => {
+                // Once any fuel value completes, every larger one must too
+                // (checked implicitly by the final full-budget iteration).
+                if completed_at.is_none() {
+                    completed_at = Some(fuel);
+                }
+                // The interesting boundary is behind us; jump to the end.
+                fuel = if fuel < budget { budget } else { budget + 1 };
+            }
+        }
+    }
+    let completed_at = completed_at.expect("sweep must reach a completing fuel value");
+    assert!(
+        exhausted_at >= 2,
+        "sweep never exercised exhaustion (completes at {completed_at})"
+    );
+}
+
+/// A kernel whose optimized native form contains both multi-op compiled
+/// chains (the scalar MAC loop) and vector superinstructions, so the
+/// sweep crosses block boundaries of both kinds.
+const FUEL_SWEEP_SRC: &str = "function y = f(x, h)\n\
+     n = numel(x);\n\
+     m = numel(h);\n\
+     y = zeros(1, n);\n\
+     for i = 1:n\n\
+       acc = 0;\n\
+       for k = 1:m\n\
+         if i - k + 1 >= 1\n\
+           acc = acc + h(k) * x(i - k + 1);\n\
+         end\n\
+       end\n\
+       y(i) = acc;\n\
+     end\n\
+     y = y * 2;\n\
+     end\n";
+
+#[test]
+fn fuel_exhaustion_agrees_across_engines_baseline() {
+    check_fuel_sweep(
+        FUEL_SWEEP_SRC,
+        "f",
+        &[matic::arg::vector(12), matic::arg::vector(4)],
+        OptLevel::baseline(),
+    );
+}
+
+#[test]
+fn fuel_exhaustion_agrees_across_engines_full() {
+    check_fuel_sweep(
+        FUEL_SWEEP_SRC,
+        "f",
+        &[matic::arg::vector(12), matic::arg::vector(4)],
         OptLevel::full(),
     );
 }

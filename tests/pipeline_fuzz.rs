@@ -3,13 +3,15 @@
 //! *outcome* — both successful outputs and error outcomes (out-of-bounds
 //! reads, fuel exhaustion).
 //!
-//! Five legs per program:
+//! Seven legs per program:
 //!
 //! 1. the reference interpreter,
 //! 2. the tree-walking ASIP simulator,
-//! 3. the pre-decoded ASIP simulator at full optimization,
-//! 4. the pre-decoded simulator at the scalar baseline level,
-//! 5. the generated C compiled by the host compiler with
+//! 3. the pre-decoded linear ASIP simulator at full optimization,
+//! 4. the fused direct-threaded (native) simulator at full optimization,
+//! 5. the linear simulator at the scalar baseline level,
+//! 6. the native simulator at the scalar baseline level,
+//! 7. the generated C compiled by the host compiler with
 //!    `-DMATIC_BOUNDS_CHECK` (skipped for non-terminating programs —
 //!    the C runtime has no fuel meter — and when no compiler exists).
 //!
@@ -21,7 +23,7 @@
 //! Case count and seed are env-tunable so CI can run a larger fixed-seed
 //! smoke (`MATIC_FUZZ_CASES=500`) without slowing local `cargo test`.
 
-use matic::{arg, CValue, Compiler, Harness, Interpreter, OptLevel, SimVal};
+use matic::{arg, CValue, Compiler, Engine, Harness, Interpreter, OptLevel, SimVal};
 use matic_benchkit::{from_interp, outputs_close, sim_to_cvalue, to_interp, to_sim};
 use matic_interp::{classify_message, ErrorKind};
 use std::path::PathBuf;
@@ -392,13 +394,19 @@ fn all_engines_agree_on_random_programs() {
                     )
                 });
 
-            let decoded = compiled.simulator().with_fuel(FUEL).run(sim_inputs.clone());
-            agree(
-                &case,
-                &reference,
-                &sim_outcome(decoded),
-                &tag(&format!("{label}/decoded")),
-            );
+            for engine in [Engine::Linear, Engine::Native] {
+                let run = compiled
+                    .simulator()
+                    .with_engine(engine)
+                    .with_fuel(FUEL)
+                    .run(sim_inputs.clone());
+                agree(
+                    &case,
+                    &reference,
+                    &sim_outcome(run),
+                    &tag(&format!("{label}/{engine}")),
+                );
+            }
 
             if label == "opt" {
                 let machine =
